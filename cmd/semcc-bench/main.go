@@ -1,0 +1,50 @@
+// Command semcc-bench runs the performance experiments (DESIGN.md §4,
+// E1–E6) and prints their tables. Every experiment compares the
+// paper's semantic open-nested protocol against the conventional
+// baselines on the order-entry workload.
+//
+// Usage:
+//
+//	semcc-bench              # all experiments, full parameter sweeps
+//	semcc-bench -exp E1      # one experiment
+//	semcc-bench -quick       # reduced sweeps (used in CI)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semcc/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (E1..E6); empty runs all")
+	quick := flag.Bool("quick", false, "reduced parameter sweeps")
+	flag.Parse()
+
+	var exps []*harness.Experiment
+	if *exp == "" {
+		exps = harness.All()
+	} else {
+		e, ok := harness.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; have:\n", *exp)
+			for _, e := range harness.All() {
+				fmt.Fprintf(os.Stderr, "  %s — %s\n", e.ID, e.Title)
+			}
+			os.Exit(2)
+		}
+		exps = []*harness.Experiment{e}
+	}
+	for _, e := range exps {
+		tables, err := e.Run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Command semcc-figures replays the figures of
+// "Semantic Concurrency Control in Object-Oriented Database Systems"
+// (Muth, Rakow, Weikum, Brössler, Hasse; ICDE 1993) against the
+// implementation in this repository.
+//
+// Usage:
+//
+//	semcc-figures            # all figures
+//	semcc-figures -fig 7     # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"semcc/internal/harness"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (1-9); 0 runs all")
+	flag.Parse()
+
+	figs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if *fig != 0 {
+		figs = []int{*fig}
+	}
+	for i, n := range figs {
+		if i > 0 {
+			fmt.Println()
+			fmt.Println("────────────────────────────────────────────────────────────────")
+			fmt.Println()
+		}
+		if err := harness.RunFigure(n, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Bypassing encapsulation (paper §4): this example replays the paper's
+// Figures 5, 6, and 7 — the anomaly that plain open nesting admits
+// when a transaction reads implementation objects directly, and the
+// two retained-lock cases that restore correctness without giving up
+// concurrency.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"semcc/internal/harness"
+)
+
+func main() {
+	for i, fig := range []int{5, 6, 7} {
+		if i > 0 {
+			fmt.Println()
+			fmt.Println("────────────────────────────────────────────────────────────")
+			fmt.Println()
+		}
+		if err := harness.RunFigure(fig, os.Stdout); err != nil {
+			log.Fatalf("figure %d: %v", fig, err)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module semcc
+
+go 1.22

@@ -1,0 +1,139 @@
+package compat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"semcc/internal/oid"
+	"semcc/internal/val"
+)
+
+var o = oid.OID{K: oid.Set, N: 1}
+
+func TestGenericMatrix(t *testing.T) {
+	m := GenericMatrix()
+	k1, k2 := val.OfInt(1), val.OfInt(2)
+	cases := []struct {
+		a, b Invocation
+		want bool
+	}{
+		{Inv(o, OpGet), Inv(o, OpGet), true},
+		{Inv(o, OpGet), Inv(o, OpPut, k1), false},
+		{Inv(o, OpPut, k1), Inv(o, OpPut, k1), false},
+		{Inv(o, OpSelect, k1), Inv(o, OpSelect, k2), true},
+		{Inv(o, OpSelect, k1), Inv(o, OpSelect, k1), true},
+		{Inv(o, OpSelect, k1), Inv(o, OpInsert, k1), false},
+		{Inv(o, OpSelect, k1), Inv(o, OpInsert, k2), true},
+		{Inv(o, OpSelect, k1), Inv(o, OpRemove, k2), true},
+		{Inv(o, OpInsert, k1), Inv(o, OpInsert, k2), true},
+		{Inv(o, OpInsert, k1), Inv(o, OpInsert, k1), false},
+		{Inv(o, OpInsert, k1), Inv(o, OpRemove, k1), false},
+		{Inv(o, OpScan), Inv(o, OpInsert, k1), false},
+		{Inv(o, OpScan), Inv(o, OpRemove, k1), false},
+		{Inv(o, OpScan), Inv(o, OpScan), true},
+		{Inv(o, OpScan), Inv(o, OpSelect, k1), true},
+	}
+	for _, c := range cases {
+		if got := m.Compatible(c.a, c.b); got != c.want {
+			t.Errorf("compat(%s, %s) = %t, want %t", c.a, c.b, got, c.want)
+		}
+		if got := m.Compatible(c.b, c.a); got != c.want {
+			t.Errorf("compat(%s, %s) = %t, want %t (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// Property: every matrix is symmetric by construction — checked over
+// the generic matrix with arbitrary single-int argument vectors.
+func TestMatrixSymmetryProperty(t *testing.T) {
+	m := GenericMatrix()
+	ops := m.Methods()
+	f := func(i, j uint8, x, y int64) bool {
+		a := Inv(o, ops[int(i)%len(ops)], val.OfInt(x))
+		b := Inv(o, ops[int(j)%len(ops)], val.OfInt(y))
+		return m.Compatible(a, b) == m.Compatible(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixDefaultsToConflict(t *testing.T) {
+	m := NewMatrix("T", "X", "Y")
+	if m.Compatible(Inv(o, "X"), Inv(o, "Y")) {
+		t.Error("missing entry must conflict")
+	}
+	if m.Compatible(Inv(o, "X"), Inv(o, "Unknown")) {
+		t.Error("unknown method must conflict")
+	}
+}
+
+func TestEntryClassification(t *testing.T) {
+	m := NewMatrix("T", "A", "B", "P")
+	m.Set("A", "A", Always)
+	m.Set("A", "B", Never)
+	m.Set("P", "P", ArgsDiffer(0))
+	if got := m.Entry("A", "A"); got != "ok" {
+		t.Errorf("A/A = %s", got)
+	}
+	if got := m.Entry("A", "B"); got != "conflict" {
+		t.Errorf("A/B = %s", got)
+	}
+	if got := m.Entry("P", "P"); got != "param" {
+		t.Errorf("P/P = %s", got)
+	}
+	if got := m.Entry("A", "P"); got != "conflict" {
+		t.Errorf("A/P (absent) = %s", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	m := NewMatrix("T", "A", "B")
+	m.Set("A", "A", Always)
+	out := m.Render()
+	if !strings.Contains(out, "ok") || !strings.Contains(out, "conflict") {
+		t.Errorf("render missing entries:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Errorf("render has %d lines, want 3", len(lines))
+	}
+}
+
+func TestArgsDifferBounds(t *testing.T) {
+	r := ArgsDiffer(1)
+	a := Inv(o, "M", val.OfInt(1))
+	b := Inv(o, "M", val.OfInt(2))
+	if r(a, b) {
+		t.Error("missing argument index must conflict")
+	}
+	a = Inv(o, "M", val.OfInt(0), val.OfStr("x"))
+	b = Inv(o, "M", val.OfInt(0), val.OfStr("y"))
+	if !r(a, b) {
+		t.Error("different second arguments must commute")
+	}
+}
+
+func TestInvocationString(t *testing.T) {
+	in := Inv(o, "Ship", val.OfInt(7), val.OfStr("x"))
+	if got := in.String(); got != `Ship(set:1, 7, "x")` {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestOpClassifiers(t *testing.T) {
+	for _, op := range []string{OpGet, OpSelect, OpScan} {
+		if !IsGenericOp(op) || !IsReadOp(op) || IsWriteOp(op) {
+			t.Errorf("%s misclassified", op)
+		}
+	}
+	for _, op := range []string{OpPut, OpInsert, OpRemove} {
+		if !IsGenericOp(op) || IsReadOp(op) || !IsWriteOp(op) {
+			t.Errorf("%s misclassified", op)
+		}
+	}
+	if IsGenericOp("ShipOrder") || IsGenericOp(OpRoot) {
+		t.Error("methods/roots are not generic ops")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+// testConflict implements the paper's Figure 9 for the semantic
+// protocol, and the corresponding tests for the baseline protocols.
+//
+// It tests lock requestor r against held (or earlier-queued) lock h on
+// the same object and returns nil when no conflict exists, or the
+// transaction node whose *completion* r must wait for.
+//
+// Semantic protocol (paper Fig. 9):
+//
+//	if h and r commute, or belong to the same top-level transaction:
+//	    no conflict
+//	for h' in ancestor chain of h (bottom-up):
+//	    for r' in ancestor chain of r (bottom-up):
+//	        if h' and r' commute (same object, compatible):
+//	            if h' is completed: no conflict      // case 1, Fig. 6
+//	            else: wait for h'                    // case 2, Fig. 7
+//	return root of h                                 // worst case
+//
+// The ancestor chains include the roots. Roots are actions on the
+// database pseudo-object in mode OpRoot, which never commutes, so a
+// pair of roots never qualifies as a commutative ancestor pair — this
+// yields the paper's worst case (wait for top-level commit) exactly
+// when no real commutative pair exists, as in Fig. 5.
+//
+// Caller holds e.mu.
+func (e *Engine) testConflict(h *lock, r *lock) *Tx {
+	hOwner, rOwner := h.owner, r.owner
+	if hOwner.root == rOwner.root {
+		return nil
+	}
+	if e.compatible(h.inv, r.inv) {
+		return nil
+	}
+	switch e.kind {
+	case Semantic:
+		if e.noRelief {
+			// Ablation: retained-lock conflicts always wait for the
+			// holder's top-level commit.
+			e.bumpStat(&e.stats.RootWaits)
+			return hOwner.root
+		}
+		for _, hp := range hOwner.ancestors() {
+			for _, rp := range rOwner.ancestors() {
+				if hp.inv.Object != rp.inv.Object {
+					continue
+				}
+				if !e.compatible(hp.inv, rp.inv) {
+					continue
+				}
+				if hp.state == Committed {
+					// Case 1: the conflict is an implementation-level
+					// pseudo-conflict; the committed commutative
+					// ancestor has already made the subtransaction's
+					// effects semantically visible.
+					e.bumpStat(&e.stats.Case1Grants)
+					return nil
+				}
+				// Case 2: r may resume as soon as hp commits.
+				e.bumpStat(&e.stats.Case2Waits)
+				return hp
+			}
+		}
+		e.bumpStat(&e.stats.RootWaits)
+		return hOwner.root
+
+	case OpenNoRetain:
+		// Paper §3 protocol: a subtransaction's locks are released at
+		// its commit, so a held lock's owner chain always contains an
+		// uncommitted node (the one whose completion will release the
+		// lock). Wait for the lowest such node.
+		for a := hOwner; a != nil; a = a.parent {
+			if a.state == Active {
+				return a
+			}
+		}
+		return hOwner.root
+
+	default:
+		// Conventional protocols (closed nested, strict 2PL on
+		// objects or pages): conflicting locks are held until the
+		// holder's top-level commit.
+		e.bumpStat(&e.stats.RootWaits)
+		return hOwner.root
+	}
+}
+
+// bumpStat increments a stats counter unless a non-mutating probe is
+// in progress. Caller holds e.mu (so e.probing is stable).
+func (e *Engine) bumpStat(counter *uint64) {
+	if e.probing {
+		return
+	}
+	e.stats.mu.Lock()
+	*counter++
+	e.stats.mu.Unlock()
+}

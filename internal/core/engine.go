@@ -1,0 +1,435 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"semcc/internal/compat"
+	"semcc/internal/history"
+	"semcc/internal/oid"
+)
+
+// JournalKind tags a journal record.
+type JournalKind uint8
+
+// Journal record kinds, in the order the engine emits them.
+const (
+	// JBeginRoot: a top-level transaction started.
+	JBeginRoot JournalKind = iota
+	// JBegin: a subtransaction started (Node, Parent, Inv).
+	JBegin
+	// JSubCommit: a subtransaction committed; Inv is its registered
+	// inverse, Splice true when the children's inverses move up
+	// instead.
+	JSubCommit
+	// JAbortStart: compensation of a node's committed work began
+	// (its accumulated undo list is now being applied in reverse).
+	JAbortStart
+	// JCompensated: one undo entry was applied successfully.
+	JCompensated
+	// JNodeAborted: the node's rollback finished.
+	JNodeAborted
+	// JRootCommit: a top-level transaction committed.
+	JRootCommit
+)
+
+// JournalRecord is one write-ahead-log record. The engine emits them
+// in execution order; internal/wal persists and replays them for
+// restart recovery (multilevel recovery in the sense of [WHBM90]).
+type JournalRecord struct {
+	Kind   JournalKind
+	Node   uint64
+	Parent uint64
+	Inv    *compat.Invocation
+	Splice bool
+}
+
+// Journal receives engine journal records. Implementations must be
+// safe for concurrent use.
+type Journal interface {
+	Append(rec JournalRecord)
+}
+
+// Hooks are optional engine callbacks used by deterministic tests and
+// the figure replayer.
+type Hooks struct {
+	// OnBlock fires when a lock request starts waiting, with the
+	// waits-for set. Called without the engine mutex held.
+	OnBlock func(t *Tx, waits []*Tx)
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Kind selects the concurrency control protocol.
+	Kind ProtocolKind
+	// Table answers compatibility questions for same-object
+	// invocation pairs (semantic matrices plus the generic matrix).
+	Table compat.Table
+	// PageOf maps an atomic object to its storage page; required by
+	// the TwoPLPage protocol, ignored otherwise.
+	PageOf func(oid.OID) (oid.OID, error)
+	// Record enables history recording for the serializability
+	// checker. Leave off for long benchmark runs.
+	Record bool
+	// NoAncestorRelief disables the commutative-ancestor search of
+	// Fig. 9 (cases 1 and 2): every retained-lock conflict then waits
+	// for the holder's top-level commit. Ablation knob for the
+	// experiments; never enable in production use.
+	NoAncestorRelief bool
+	// Journal, when set, receives write-ahead-log records for restart
+	// recovery (see internal/wal).
+	Journal Journal
+	// Hooks are optional test callbacks.
+	Hooks Hooks
+}
+
+// Engine executes open nested transactions under a selectable
+// concurrency control protocol. It implements the paper's
+// exec-transaction (Fig. 8): lock acquisition with FCFS queueing and
+// waits-for sets, subtransaction completion with lock retention, and
+// top-level commit releasing the tree's locks — plus deadlock
+// detection and compensation-based abort, which the paper presumes but
+// does not specify.
+type Engine struct {
+	kind     ProtocolKind
+	table    compat.Table
+	pageOf   func(oid.OID) (oid.OID, error)
+	record   bool
+	noRelief bool
+	journal  Journal
+	hooks    Hooks
+
+	// exec runs a compensating invocation as a child of the given
+	// node; installed by the OODB layer (which owns method bodies).
+	exec func(parent *Tx, inv compat.Invocation) error
+
+	mu      sync.Mutex
+	heads   map[oid.OID]*lockHead
+	waiters map[*Tx]bool
+	roots   []*Tx // recorded roots (when record is on)
+	probing bool  // true while ProbeConflicts runs: suppress stats
+
+	stats Stats
+	seq   atomic.Int64
+	ids   atomic.Uint64
+}
+
+// New returns an Engine for the given configuration. Config.Table is
+// required.
+func New(cfg Config) *Engine {
+	if cfg.Table == nil {
+		panic("core: Config.Table is required")
+	}
+	return &Engine{
+		kind:     cfg.Kind,
+		table:    cfg.Table,
+		pageOf:   cfg.PageOf,
+		record:   cfg.Record,
+		noRelief: cfg.NoAncestorRelief,
+		journal:  cfg.Journal,
+		hooks:    cfg.Hooks,
+		heads:    make(map[oid.OID]*lockHead),
+		waiters:  make(map[*Tx]bool),
+	}
+}
+
+// Kind returns the protocol the engine runs.
+func (e *Engine) Kind() ProtocolKind { return e.kind }
+
+// Table returns the compatibility table the engine consults (the
+// serializability checkers reuse it).
+func (e *Engine) Table() compat.Table { return e.table }
+
+// SetExec installs the compensation executor. It must be set before
+// any abort can run logical undo.
+func (e *Engine) SetExec(f func(parent *Tx, inv compat.Invocation) error) { e.exec = f }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() StatsSnapshot { return e.stats.Snapshot() }
+
+// BeginRoot starts a top-level transaction: a node operating on the
+// database pseudo-object (paper §3, footnote 2). Roots acquire no
+// lock.
+func (e *Engine) BeginRoot() *Tx {
+	t := &Tx{
+		id:       e.ids.Add(1),
+		inv:      compat.Inv(oid.DB, compat.OpRoot),
+		state:    Active,
+		done:     make(chan struct{}),
+		beginSeq: e.seq.Add(1),
+	}
+	t.root = t
+	e.mu.Lock()
+	if e.record {
+		e.roots = append(e.roots, t)
+	}
+	e.mu.Unlock()
+	e.stats.mu.Lock()
+	e.stats.RootsStarted++
+	e.stats.mu.Unlock()
+	if e.journal != nil {
+		e.journal.Append(JournalRecord{Kind: JBeginRoot, Node: t.id})
+	}
+	return t
+}
+
+// BeginChild creates a subtransaction of parent for the given
+// invocation and acquires its lock per the protocol, blocking until
+// granted. On ErrDeadlock the child is marked aborted and the caller
+// must abort the top-level transaction.
+func (e *Engine) BeginChild(parent *Tx, inv compat.Invocation) (*Tx, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("core: BeginChild with nil parent")
+	}
+	e.mu.Lock()
+	if parent.state != Active {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: BeginChild on %s parent %s", parent.state, parent)
+	}
+	t := &Tx{
+		id:           e.ids.Add(1),
+		inv:          inv,
+		parent:       parent,
+		root:         parent.root,
+		depth:        parent.depth + 1,
+		state:        Active,
+		done:         make(chan struct{}),
+		beginSeq:     e.seq.Add(1),
+		compensating: parent.compensating,
+	}
+	parent.children = append(parent.children, t)
+	e.mu.Unlock()
+	e.stats.mu.Lock()
+	e.stats.Subtxs++
+	e.stats.mu.Unlock()
+
+	lockInv, need := e.lockFor(inv)
+	if need {
+		if err := e.acquire(t, lockInv); err != nil {
+			e.mu.Lock()
+			if t.state == Active {
+				t.state = Aborted
+				t.endSeq = e.seq.Add(1)
+				close(t.done)
+			}
+			e.mu.Unlock()
+			return t, err
+		}
+	}
+	if e.journal != nil {
+		e.journal.Append(JournalRecord{Kind: JBegin, Node: t.id, Parent: parent.id, Inv: &inv})
+	}
+	return t, nil
+}
+
+// CompleteChild commits subtransaction t (paper Fig. 8's tail): the
+// node's locks become retained, and the compensation responsibility
+// moves to the parent — either as the method's registered inverse
+// invocation, or, if the method has none, as the node's own undo list
+// (lower-level compensation fallback).
+func (e *Engine) CompleteChild(t *Tx, inverse *compat.Invocation) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t.IsRoot() {
+		return fmt.Errorf("core: CompleteChild on root %s", t)
+	}
+	if t.state != Active {
+		return fmt.Errorf("core: CompleteChild on %s node %s", t.state, t)
+	}
+	t.state = Committed
+	t.endSeq = e.seq.Add(1)
+
+	// Propagate compensation upward.
+	if inverse != nil {
+		t.parent.undo = append(t.parent.undo, *inverse)
+	} else {
+		t.parent.undo = append(t.parent.undo, t.undo...)
+	}
+	t.undo = nil
+
+	// Lock disposition at subcommit.
+	switch e.kind {
+	case Semantic:
+		// Retained: nothing to do — retention is derived from the
+		// owner's Committed state (paper §4.1).
+	case OpenNoRetain:
+		// Paper §3: the locks of the actions *in* the subtransaction
+		// are released at its commit; the subtransaction's own lock is
+		// the "higher-level semantic lock" its parent holds further.
+		for _, c := range t.children {
+			e.releaseOwned(c)
+		}
+	case ClosedNested:
+		// Moss-style lock inheritance: the parent adopts the locks.
+		for _, l := range t.locks {
+			l.owner = t.parent
+			t.parent.locks = append(t.parent.locks, l)
+		}
+		t.locks = nil
+	case TwoPLObject, TwoPLPage:
+		// Strict 2PL: all locks held to top-level end.
+	}
+
+	close(t.done)
+	if e.journal != nil {
+		e.journal.Append(JournalRecord{Kind: JSubCommit, Node: t.id, Inv: inverse, Splice: inverse == nil})
+	}
+	return nil
+}
+
+// RecordUndo appends a compensating invocation to t's undo list. The
+// OODB layer calls this for leaf writes (inverse Put/Insert/Remove).
+func (e *Engine) RecordUndo(t *Tx, inverse compat.Invocation) {
+	e.mu.Lock()
+	t.undo = append(t.undo, inverse)
+	e.mu.Unlock()
+}
+
+// CommitRoot commits top-level transaction t and releases every lock
+// held by its tree.
+func (e *Engine) CommitRoot(t *Tx) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !t.IsRoot() {
+		return fmt.Errorf("core: CommitRoot on non-root %s", t)
+	}
+	if t.state != Active {
+		return fmt.Errorf("core: CommitRoot on %s root %s", t.state, t)
+	}
+	t.state = Committed
+	t.endSeq = e.seq.Add(1)
+	t.undo = nil
+	e.releaseTree(t)
+	close(t.done)
+	e.stats.mu.Lock()
+	e.stats.RootsCommitted++
+	e.stats.mu.Unlock()
+	if e.journal != nil {
+		e.journal.Append(JournalRecord{Kind: JRootCommit, Node: t.id})
+	}
+	return nil
+}
+
+// AbortChild rolls back subtransaction t: its committed children are
+// compensated (in reverse order, as fresh children of t, through the
+// normal locking machinery), its subtree's locks are released, and the
+// node is marked aborted. The parent receives no undo entry for t.
+func (e *Engine) AbortChild(t *Tx) error {
+	if t.IsRoot() {
+		return fmt.Errorf("core: AbortChild on root %s", t)
+	}
+	return e.abortNode(t)
+}
+
+// AbortRoot rolls back top-level transaction t, compensating all its
+// committed top-level actions in reverse order, and releases every
+// lock of the tree.
+func (e *Engine) AbortRoot(t *Tx) error {
+	if !t.IsRoot() {
+		return fmt.Errorf("core: AbortRoot on non-root %s", t)
+	}
+	err := e.abortNode(t)
+	e.stats.mu.Lock()
+	e.stats.RootsAborted++
+	e.stats.mu.Unlock()
+	return err
+}
+
+func (e *Engine) abortNode(t *Tx) error {
+	e.mu.Lock()
+	if t.state != Active {
+		e.mu.Unlock()
+		return fmt.Errorf("core: abort of %s node %s", t.state, t)
+	}
+	undo := t.undo
+	t.undo = nil
+	t.compensating = true
+	e.mu.Unlock()
+	if e.journal != nil {
+		e.journal.Append(JournalRecord{Kind: JAbortStart, Node: t.id})
+	}
+
+	// Compensate committed work in reverse chronological order. The
+	// compensating subtransactions run under t itself, so their lock
+	// requests never conflict with t's own tree (same root) and they
+	// are recorded in the history like any other action.
+	var firstErr error
+	for i := len(undo) - 1; i >= 0; i-- {
+		if e.exec == nil {
+			firstErr = fmt.Errorf("core: no compensation executor installed, cannot undo %s", undo[i])
+			break
+		}
+		err := e.exec(t, undo[i])
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: compensation %s failed: %w", undo[i], err)
+		}
+		if err == nil && e.journal != nil {
+			e.journal.Append(JournalRecord{Kind: JCompensated, Node: t.id})
+		}
+		e.stats.mu.Lock()
+		e.stats.Compensations++
+		e.stats.mu.Unlock()
+	}
+
+	e.mu.Lock()
+	t.eachNode(func(n *Tx) {
+		if n.state == Active {
+			n.state = Aborted
+			n.endSeq = e.seq.Add(1)
+			close(n.done)
+		}
+	})
+	e.releaseTree(t)
+	e.mu.Unlock()
+	if firstErr == nil && e.journal != nil {
+		e.journal.Append(JournalRecord{Kind: JNodeAborted, Node: t.id})
+	}
+	return firstErr
+}
+
+// ProbeConflicts computes, without acquiring anything or touching the
+// statistics, the waits-for set a child of parent invoking inv would
+// face right now. Deterministic figure tests use it to assert exactly
+// which (sub)transactions would block a request (paper Figs. 5–7).
+func (e *Engine) ProbeConflicts(parent *Tx, inv compat.Invocation) []*Tx {
+	lockInv, need := e.lockFor(inv)
+	if !need {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	probe := &Tx{inv: inv, parent: parent, root: parent.root, state: Active, depth: parent.depth + 1}
+	h := e.head(lockInv.Object)
+	l := &lock{inv: lockInv, owner: probe, head: h}
+	e.probing = true
+	waits := e.waitSetLocked(h, l)
+	e.probing = false
+	return waits
+}
+
+// Forest returns a snapshot of all recorded transaction trees.
+// History recording must have been enabled in the Config.
+func (e *Engine) Forest() *history.Forest {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f := &history.Forest{}
+	for _, r := range e.roots {
+		f.Roots = append(f.Roots, snapNode(r))
+	}
+	return f
+}
+
+func snapNode(t *Tx) *history.Node {
+	n := &history.Node{
+		ID:        t.id,
+		Inv:       t.inv,
+		Begin:     t.beginSeq,
+		End:       t.endSeq,
+		Committed: t.state == Committed,
+	}
+	for _, c := range t.children {
+		n.Children = append(n.Children, snapNode(c))
+	}
+	return n
+}

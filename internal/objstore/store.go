@@ -1,0 +1,333 @@
+// Package objstore implements the object-structure graph model of the
+// paper's §2.1: a database is a graph of atomic objects, tuple objects
+// (named components), and set objects (members addressed by a primary
+// key, with a generic Select operation).
+//
+// Atomic object values are persisted as storage atoms in the
+// record/page layer (internal/storage), so every atomic object has a
+// well-defined page — the granularity the conventional locking
+// baselines operate on. Tuple and set structure is kept in memory;
+// structural operations are versioned through the same concurrency
+// control layer as atomic accesses.
+//
+// The store itself provides only *physical* operations and
+// latch-level safety. Transactional isolation is implemented above it
+// by internal/core.
+package objstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"semcc/internal/oid"
+	"semcc/internal/storage"
+	"semcc/internal/val"
+)
+
+// SetEntry is one member of a set object.
+type SetEntry struct {
+	Key    val.V
+	Member oid.OID
+}
+
+type atomicObj struct {
+	rid storage.RID
+}
+
+type tupleObj struct {
+	comps map[string]oid.OID
+	order []string // component names in definition order
+}
+
+type setObj struct {
+	members map[string]SetEntry // canonical key string -> entry
+}
+
+// Store is the object store. All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	gen     *oid.Generator
+	records *storage.RecordStore
+	atoms   map[oid.OID]*atomicObj
+	tuples  map[oid.OID]*tupleObj
+	sets    map[oid.OID]*setObj
+}
+
+// New returns an empty store backed by a fresh in-memory disk with the
+// given buffer-pool capacity (frames). A capacity of 0 selects a
+// default large enough for the experiments in this repository.
+func New(poolFrames int) *Store {
+	if poolFrames <= 0 {
+		poolFrames = 1024
+	}
+	pool := storage.NewPool(storage.NewMemDisk(), poolFrames)
+	return &Store{
+		gen:     oid.NewGenerator(),
+		records: storage.NewRecordStore(pool),
+		atoms:   make(map[oid.OID]*atomicObj),
+		tuples:  make(map[oid.OID]*tupleObj),
+		sets:    make(map[oid.OID]*setObj),
+	}
+}
+
+// keyString canonicalises a key value for map lookup.
+func keyString(k val.V) string { return k.String() }
+
+// NewAtomic creates an atomic object with the given initial value.
+func (s *Store) NewAtomic(initial val.V) (oid.OID, error) {
+	rid, err := s.records.Insert(initial.Marshal())
+	if err != nil {
+		return oid.Nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.gen.New(oid.Atomic)
+	s.atoms[id] = &atomicObj{rid: rid}
+	return id, nil
+}
+
+// ReadAtomic returns the current value of atomic object id.
+func (s *Store) ReadAtomic(id oid.OID) (val.V, error) {
+	s.mu.RLock()
+	a, ok := s.atoms[id]
+	s.mu.RUnlock()
+	if !ok {
+		return val.NullV, fmt.Errorf("objstore: no atomic object %s", id)
+	}
+	raw, err := s.records.Read(a.rid)
+	if err != nil {
+		return val.NullV, err
+	}
+	v, _, err := val.Unmarshal(raw)
+	return v, err
+}
+
+// WriteAtomic replaces the value of atomic object id. The record
+// store's RIDs are stable (forwarding stubs), so the object→page
+// mapping used by page-level locking never changes.
+func (s *Store) WriteAtomic(id oid.OID, v val.V) error {
+	s.mu.RLock()
+	a, ok := s.atoms[id]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("objstore: no atomic object %s", id)
+	}
+	_, err := s.records.Update(a.rid, v.Marshal())
+	return err
+}
+
+// PageOf returns the OID of the storage page holding atomic object id.
+// It is the object→page mapping used by the page-level baseline.
+func (s *Store) PageOf(id oid.OID) (oid.OID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.atoms[id]
+	if !ok {
+		return oid.Nil, fmt.Errorf("objstore: no atomic object %s", id)
+	}
+	return oid.PageOID(uint64(a.rid.Page)), nil
+}
+
+// NewTuple creates a tuple object with the given components, in order.
+func (s *Store) NewTuple(names []string, comps map[string]oid.OID) (oid.OID, error) {
+	if len(names) != len(comps) {
+		return oid.Nil, fmt.Errorf("objstore: tuple has %d names but %d components", len(names), len(comps))
+	}
+	t := &tupleObj{comps: make(map[string]oid.OID, len(comps)), order: append([]string(nil), names...)}
+	for _, n := range names {
+		c, ok := comps[n]
+		if !ok {
+			return oid.Nil, fmt.Errorf("objstore: tuple component %q missing", n)
+		}
+		t.comps[n] = c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.gen.New(oid.Tuple)
+	s.tuples[id] = t
+	return id, nil
+}
+
+// TupleGet returns the OID of component name of tuple id.
+func (s *Store) TupleGet(id oid.OID, name string) (oid.OID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tuples[id]
+	if !ok {
+		return oid.Nil, fmt.Errorf("objstore: no tuple object %s", id)
+	}
+	c, ok := t.comps[name]
+	if !ok {
+		return oid.Nil, fmt.Errorf("objstore: tuple %s has no component %q", id, name)
+	}
+	return c, nil
+}
+
+// TupleComponents returns the component names of tuple id in
+// definition order.
+func (s *Store) TupleComponents(id oid.OID) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tuples[id]
+	if !ok {
+		return nil, fmt.Errorf("objstore: no tuple object %s", id)
+	}
+	return append([]string(nil), t.order...), nil
+}
+
+// NewSet creates an empty set object.
+func (s *Store) NewSet() (oid.OID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.gen.New(oid.Set)
+	s.sets[id] = &setObj{members: make(map[string]SetEntry)}
+	return id, nil
+}
+
+// SetInsert adds member under key to set id. Inserting an existing key
+// fails.
+func (s *Store) SetInsert(id oid.OID, key val.V, member oid.OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set, ok := s.sets[id]
+	if !ok {
+		return fmt.Errorf("objstore: no set object %s", id)
+	}
+	ks := keyString(key)
+	if _, dup := set.members[ks]; dup {
+		return fmt.Errorf("objstore: duplicate key %s in set %s", key, id)
+	}
+	set.members[ks] = SetEntry{Key: key, Member: member}
+	return nil
+}
+
+// SetRemove removes the member under key from set id.
+func (s *Store) SetRemove(id oid.OID, key val.V) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set, ok := s.sets[id]
+	if !ok {
+		return fmt.Errorf("objstore: no set object %s", id)
+	}
+	ks := keyString(key)
+	if _, ok := set.members[ks]; !ok {
+		return fmt.Errorf("objstore: no key %s in set %s", key, id)
+	}
+	delete(set.members, ks)
+	return nil
+}
+
+// SetSelect returns the member stored under key, if any. This is the
+// paper's generic Select operation (§2.2).
+func (s *Store) SetSelect(id oid.OID, key val.V) (oid.OID, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set, ok := s.sets[id]
+	if !ok {
+		return oid.Nil, false, fmt.Errorf("objstore: no set object %s", id)
+	}
+	e, ok := set.members[keyString(key)]
+	if !ok {
+		return oid.Nil, false, nil
+	}
+	return e.Member, true, nil
+}
+
+// SetScan returns all entries of set id, sorted by canonical key, so
+// scans are deterministic.
+func (s *Store) SetScan(id oid.OID) ([]SetEntry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set, ok := s.sets[id]
+	if !ok {
+		return nil, fmt.Errorf("objstore: no set object %s", id)
+	}
+	keys := make([]string, 0, len(set.members))
+	for k := range set.members {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]SetEntry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, set.members[k])
+	}
+	return out, nil
+}
+
+// SetLen returns the number of members in set id.
+func (s *Store) SetLen(id oid.OID) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set, ok := s.sets[id]
+	if !ok {
+		return 0, fmt.Errorf("objstore: no set object %s", id)
+	}
+	return len(set.members), nil
+}
+
+// Kind returns the kind of object id, or Invalid if unknown.
+func (s *Store) Kind(id oid.OID) oid.Kind {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	switch {
+	case s.atoms[id] != nil:
+		return oid.Atomic
+	case s.tuples[id] != nil:
+		return oid.Tuple
+	case s.sets[id] != nil:
+		return oid.Set
+	default:
+		return oid.Invalid
+	}
+}
+
+// DumpAtom renders "oid=value" for diagnostics and state comparison.
+func (s *Store) DumpAtom(id oid.OID) string {
+	v, err := s.ReadAtomic(id)
+	if err != nil {
+		return fmt.Sprintf("%s=<err:%v>", id, err)
+	}
+	return fmt.Sprintf("%s=%s", id, v)
+}
+
+// DumpSubgraph renders the object graph rooted at id, one line per
+// object, depth-first with stable ordering. Used by tests that compare
+// database states for serial equivalence.
+func (s *Store) DumpSubgraph(id oid.OID) string {
+	var b strings.Builder
+	seen := make(map[oid.OID]bool)
+	s.dump(&b, id, 0, seen)
+	return b.String()
+}
+
+func (s *Store) dump(b *strings.Builder, id oid.OID, depth int, seen map[oid.OID]bool) {
+	indent := strings.Repeat("  ", depth)
+	if seen[id] {
+		fmt.Fprintf(b, "%s%s (shared)\n", indent, id)
+		return
+	}
+	seen[id] = true
+	switch s.Kind(id) {
+	case oid.Atomic:
+		fmt.Fprintf(b, "%s%s\n", indent, s.DumpAtom(id))
+	case oid.Tuple:
+		fmt.Fprintf(b, "%s%s tuple\n", indent, id)
+		names, _ := s.TupleComponents(id)
+		for _, n := range names {
+			c, _ := s.TupleGet(id, n)
+			fmt.Fprintf(b, "%s  .%s:\n", indent, n)
+			s.dump(b, c, depth+2, seen)
+		}
+	case oid.Set:
+		fmt.Fprintf(b, "%s%s set\n", indent, id)
+		entries, _ := s.SetScan(id)
+		for _, e := range entries {
+			fmt.Fprintf(b, "%s  [%s]:\n", indent, e.Key)
+			s.dump(b, e.Member, depth+2, seen)
+		}
+	default:
+		fmt.Fprintf(b, "%s%s <unknown>\n", indent, id)
+	}
+}

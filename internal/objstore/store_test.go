@@ -1,0 +1,152 @@
+package objstore
+
+import (
+	"strings"
+	"testing"
+
+	"semcc/internal/oid"
+	"semcc/internal/val"
+)
+
+func TestAtomicLifecycle(t *testing.T) {
+	s := New(0)
+	a, err := s.NewAtomic(val.OfInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.ReadAtomic(a)
+	if err != nil || v.Int() != 7 {
+		t.Fatalf("read = %v, %v", v, err)
+	}
+	if err := s.WriteAtomic(a, val.OfStr("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.ReadAtomic(a)
+	if v.Str() != "hello" {
+		t.Fatalf("after write: %v", v)
+	}
+	if s.Kind(a) != oid.Atomic {
+		t.Error("kind wrong")
+	}
+	if _, err := s.ReadAtomic(oid.OID{K: oid.Atomic, N: 999}); err == nil {
+		t.Error("read of unknown atom must fail")
+	}
+	if err := s.WriteAtomic(oid.OID{K: oid.Atomic, N: 999}, val.OfInt(1)); err == nil {
+		t.Error("write of unknown atom must fail")
+	}
+}
+
+func TestPageOfStableAcrossGrowth(t *testing.T) {
+	s := New(0)
+	a, _ := s.NewAtomic(val.OfEvents())
+	pg0, err := s.PageOf(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the value dramatically (forces record relocation).
+	evs := make([]val.Event, 0, 120)
+	for i := 0; i < 120; i++ {
+		evs = append(evs, "some-rather-long-event-name")
+	}
+	if err := s.WriteAtomic(a, val.OfEvents(evs...)); err != nil {
+		t.Fatal(err)
+	}
+	pg1, err := s.PageOf(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg0 != pg1 {
+		t.Fatalf("page mapping changed %s -> %s; must be stable", pg0, pg1)
+	}
+	v, err := s.ReadAtomic(a)
+	if err != nil || v.EventCount("some-rather-long-event-name") != 120 {
+		t.Fatalf("read-back after relocation: %v %v", v.EventCount("some-rather-long-event-name"), err)
+	}
+}
+
+func TestTupleLifecycle(t *testing.T) {
+	s := New(0)
+	a, _ := s.NewAtomic(val.OfInt(1))
+	b, _ := s.NewAtomic(val.OfInt(2))
+	tu, err := s.NewTuple([]string{"X", "Y"}, map[string]oid.OID{"X": a, "Y": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.TupleGet(tu, "Y")
+	if err != nil || got != b {
+		t.Fatalf("TupleGet = %v, %v", got, err)
+	}
+	names, _ := s.TupleComponents(tu)
+	if strings.Join(names, ",") != "X,Y" {
+		t.Errorf("components = %v", names)
+	}
+	if _, err := s.TupleGet(tu, "Z"); err == nil {
+		t.Error("unknown component must fail")
+	}
+	if _, err := s.NewTuple([]string{"X"}, map[string]oid.OID{}); err == nil {
+		t.Error("mismatched names/components must fail")
+	}
+	if _, err := s.NewTuple([]string{"X", "Y"}, map[string]oid.OID{"X": a, "Q": b}); err == nil {
+		t.Error("missing named component must fail")
+	}
+}
+
+func TestSetLifecycle(t *testing.T) {
+	s := New(0)
+	set, _ := s.NewSet()
+	m1, _ := s.NewAtomic(val.OfInt(10))
+	m2, _ := s.NewAtomic(val.OfInt(20))
+	if err := s.SetInsert(set, val.OfInt(1), m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInsert(set, val.OfInt(2), m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInsert(set, val.OfInt(1), m2); err == nil {
+		t.Error("duplicate key must fail")
+	}
+	got, ok, err := s.SetSelect(set, val.OfInt(2))
+	if err != nil || !ok || got != m2 {
+		t.Fatalf("Select = %v %t %v", got, ok, err)
+	}
+	_, ok, _ = s.SetSelect(set, val.OfInt(3))
+	if ok {
+		t.Error("Select of absent key returned ok")
+	}
+	entries, _ := s.SetScan(set)
+	if len(entries) != 2 || entries[0].Key.Int() != 1 {
+		t.Errorf("Scan = %v", entries)
+	}
+	n, _ := s.SetLen(set)
+	if n != 2 {
+		t.Errorf("Len = %d", n)
+	}
+	if err := s.SetRemove(set, val.OfInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRemove(set, val.OfInt(1)); err == nil {
+		t.Error("removing absent key must fail")
+	}
+	// Errors on unknown sets.
+	bogus := oid.OID{K: oid.Set, N: 9999}
+	if err := s.SetInsert(bogus, val.OfInt(1), m1); err == nil {
+		t.Error("insert into unknown set must fail")
+	}
+	if _, err := s.SetScan(bogus); err == nil {
+		t.Error("scan of unknown set must fail")
+	}
+}
+
+func TestDumpSubgraph(t *testing.T) {
+	s := New(0)
+	a, _ := s.NewAtomic(val.OfInt(5))
+	set, _ := s.NewSet()
+	_ = s.SetInsert(set, val.OfInt(1), a)
+	tu, _ := s.NewTuple([]string{"N", "S"}, map[string]oid.OID{"N": a, "S": set})
+	dump := s.DumpSubgraph(tu)
+	for _, want := range []string{"tuple", ".N:", ".S:", "=5", "(shared)"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}

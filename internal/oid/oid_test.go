@@ -1,0 +1,69 @@
+package oid
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGeneratorUnique(t *testing.T) {
+	g := NewGenerator()
+	seen := make(map[OID]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]OID, 0, 1000)
+			for i := 0; i < 1000; i++ {
+				local = append(local, g.New(Atomic))
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate OID %s", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 8000 {
+		t.Fatalf("generated %d unique OIDs, want 8000", len(seen))
+	}
+}
+
+func TestStringAndNil(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Error("Nil.IsNil() = false")
+	}
+	if Nil.String() != "nil" {
+		t.Errorf("Nil.String() = %q", Nil.String())
+	}
+	id := OID{K: Tuple, N: 42}
+	if id.IsNil() {
+		t.Error("non-nil OID reports nil")
+	}
+	if id.String() != "tuple:42" {
+		t.Errorf("String() = %q", id.String())
+	}
+	if DB.K != Database {
+		t.Error("DB pseudo-object has wrong kind")
+	}
+	if PageOID(9) != (OID{K: Page, N: 9}) {
+		t.Error("PageOID wrong")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	names := map[Kind]string{
+		Invalid: "invalid", Atomic: "atom", Tuple: "tuple",
+		Set: "set", Database: "db", Page: "page",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}

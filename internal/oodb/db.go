@@ -1,0 +1,178 @@
+package oodb
+
+import (
+	"fmt"
+	"sync"
+
+	"semcc/internal/compat"
+	"semcc/internal/core"
+	"semcc/internal/objstore"
+	"semcc/internal/oid"
+	"semcc/internal/val"
+)
+
+// Options configure a DB.
+type Options struct {
+	// Protocol selects the concurrency control protocol. Default:
+	// the paper's semantic protocol.
+	Protocol core.ProtocolKind
+	// Record enables history recording (for the serializability
+	// checker). Leave off for benchmarks.
+	Record bool
+	// PoolFrames sizes the storage buffer pool; 0 selects a default.
+	PoolFrames int
+	// NoAncestorRelief forwards the experiments' ablation knob: it
+	// disables the Fig. 9 commutative-ancestor cases in the engine.
+	NoAncestorRelief bool
+	// Journal, when set, receives write-ahead-log records for restart
+	// recovery (internal/wal).
+	Journal core.Journal
+	// Hooks passes test callbacks to the engine.
+	Hooks core.Hooks
+}
+
+// DB is an object-oriented database: an object store, a schema of
+// encapsulated types, and a transactional engine running one of the
+// implemented concurrency control protocols.
+type DB struct {
+	store  *objstore.Store
+	reg    *typeRegistry
+	engine *core.Engine
+
+	mu    sync.RWMutex
+	named map[string]oid.OID
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	db := &DB{
+		store: objstore.New(opts.PoolFrames),
+		reg:   newTypeRegistry(),
+		named: make(map[string]oid.OID),
+	}
+	db.engine = core.New(core.Config{
+		Kind:             opts.Protocol,
+		Table:            db.reg,
+		PageOf:           db.store.PageOf,
+		Record:           opts.Record,
+		NoAncestorRelief: opts.NoAncestorRelief,
+		Journal:          opts.Journal,
+		Hooks:            opts.Hooks,
+	})
+	db.engine.SetExec(func(parent *core.Tx, inv compat.Invocation) error {
+		_, err := db.invoke(parent, inv)
+		return err
+	})
+	return db
+}
+
+// Reopen simulates a restart after a crash: the returned DB shares
+// the old one's object store (the "disk"), schema registry (method
+// bodies are code and survive a crash), and name bindings, but gets a
+// fresh engine — all volatile state (lock table, transaction trees)
+// is gone. The old DB must not be used afterwards.
+func Reopen(old *DB, opts Options) *DB {
+	db := &DB{
+		store: old.store,
+		reg:   old.reg,
+		named: old.named,
+	}
+	db.engine = core.New(core.Config{
+		Kind:             opts.Protocol,
+		Table:            db.reg,
+		PageOf:           db.store.PageOf,
+		Record:           opts.Record,
+		NoAncestorRelief: opts.NoAncestorRelief,
+		Journal:          opts.Journal,
+		Hooks:            opts.Hooks,
+	})
+	db.engine.SetExec(func(parent *core.Tx, inv compat.Invocation) error {
+		_, err := db.invoke(parent, inv)
+		return err
+	})
+	return db
+}
+
+// Protocol returns the concurrency control protocol in effect.
+func (db *DB) Protocol() core.ProtocolKind { return db.engine.Kind() }
+
+// Engine exposes the concurrency control engine (stats, probes,
+// history snapshots).
+func (db *DB) Engine() *core.Engine { return db.engine }
+
+// Store exposes the physical object store. Intended for schema
+// population helpers and state-comparison in tests; transactional
+// code must access objects through Tx/Ctx.
+func (db *DB) Store() *objstore.Store { return db.store }
+
+// RegisterType installs an encapsulated type in the schema.
+func (db *DB) RegisterType(t *Type) error { return db.reg.register(t) }
+
+// TypeByName returns a registered type.
+func (db *DB) TypeByName(name string) (*Type, bool) { return db.reg.typeByName(name) }
+
+// BindInstance declares obj to be an instance of the named type, so
+// method invocations on it resolve and its matrix governs
+// compatibility. Population code calls this when creating objects
+// outside a transaction; Ctx.NewInstance is the transactional path.
+func (db *DB) BindInstance(obj oid.OID, typeName string) error {
+	t, ok := db.reg.typeByName(typeName)
+	if !ok {
+		return fmt.Errorf("oodb: unknown type %s", typeName)
+	}
+	db.reg.bindInstance(obj, t)
+	return nil
+}
+
+// TypeOf returns the encapsulated type of obj, if any.
+func (db *DB) TypeOf(obj oid.OID) (*Type, bool) { return db.reg.typeOf(obj) }
+
+// Bind gives a database-root object a name (e.g. "Items").
+func (db *DB) Bind(name string, obj oid.OID) {
+	db.mu.Lock()
+	db.named[name] = obj
+	db.mu.Unlock()
+}
+
+// Lookup resolves a bound name.
+func (db *DB) Lookup(name string) (oid.OID, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	o, ok := db.named[name]
+	return o, ok
+}
+
+// Names returns all bound names.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.named))
+	for n := range db.named {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Component navigates a tuple to a component's OID without locking.
+// Tuple structure is immutable after creation, so navigation is pure
+// addressing (paper §2.2 writes it as t.c).
+func (db *DB) Component(tuple oid.OID, name string) (oid.OID, error) {
+	return db.store.TupleGet(tuple, name)
+}
+
+// ComponentPath navigates a chain of tuple components.
+func (db *DB) ComponentPath(obj oid.OID, names ...string) (oid.OID, error) {
+	cur := obj
+	for _, n := range names {
+		next, err := db.store.TupleGet(cur, n)
+		if err != nil {
+			return oid.Nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// ReadAtom reads an atomic object's value outside any transaction —
+// for test assertions and population checks only.
+func (db *DB) ReadAtom(obj oid.OID) (val.V, error) { return db.store.ReadAtomic(obj) }

@@ -1,0 +1,308 @@
+package orderentry
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"semcc/internal/compat"
+	"semcc/internal/oid"
+	"semcc/internal/oodb"
+	"semcc/internal/val"
+)
+
+// Tuple component names.
+const (
+	CompItemNo   = "ItemNo"
+	CompPrice    = "Price"
+	CompQOH      = "QOH" // quantity-on-hand
+	CompOrders   = "Orders"
+	CompOrderNo  = "OrderNo"
+	CompCustomer = "CustomerNo"
+	CompQuantity = "Quantity"
+	CompStatus   = "Status"
+)
+
+// ErrInsufficientStock is returned by ShipOrder when quantity-on-hand
+// would go negative — the floor that makes ShipOrder non-commuting
+// with itself.
+var ErrInsufficientStock = errors.New("orderentry: insufficient stock")
+
+// ErrNoSuchOrder is returned when an OrderNo does not exist for the
+// item.
+var ErrNoSuchOrder = errors.New("orderentry: no such order")
+
+// Config controls database population.
+type Config struct {
+	// Items is the number of Item objects (ItemNo 1..Items).
+	Items int
+	// OrdersPerItem is the number of pre-created orders per item.
+	OrdersPerItem int
+	// InitialQOH is each item's starting quantity-on-hand.
+	InitialQOH int64
+	// Price is each item's price (integer money units).
+	Price int64
+	// OrderQuantity is each pre-created order's quantity.
+	OrderQuantity int64
+}
+
+// DefaultConfig is a small population suitable for tests.
+func DefaultConfig() Config {
+	return Config{Items: 4, OrdersPerItem: 2, InitialQOH: 1000, Price: 10, OrderQuantity: 1}
+}
+
+// App is the order-entry application bound to a database: the schema
+// (paper Fig. 1), the method implementations, and helpers to address
+// items, orders, and their atomic components.
+type App struct {
+	DB *oodb.DB
+	// Items is the OID of the database's Items set.
+	Items oid.OID
+
+	orderSeq atomic.Int64
+
+	// HookShipMid, when set, is called inside ShipOrder's body after
+	// the ChangeStatus child has committed and before the
+	// quantity-on-hand update. The figure replayer uses it to hold a
+	// ShipOrder subtransaction open at exactly the point of the
+	// paper's Fig. 7.
+	HookShipMid func(item oid.OID, orderNo int64)
+}
+
+// Setup registers the Item and Order types on db, creates the Items
+// set and cfg.Items items with cfg.OrdersPerItem orders each, and
+// binds the set under the name "Items".
+func Setup(db *oodb.DB, cfg Config) (*App, error) {
+	a := &App{DB: db}
+	itemType, err := oodb.NewType("Item", ItemMatrix(), a.itemMethods()...)
+	if err != nil {
+		return nil, err
+	}
+	orderType, err := oodb.NewType("Order", OrderMatrix(), a.orderMethods()...)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.RegisterType(itemType); err != nil {
+		return nil, err
+	}
+	if err := db.RegisterType(orderType); err != nil {
+		return nil, err
+	}
+
+	store := db.Store()
+	items, err := store.NewSet()
+	if err != nil {
+		return nil, err
+	}
+	a.Items = items
+	db.Bind("Items", items)
+
+	for n := 1; n <= cfg.Items; n++ {
+		item, err := a.createItem(int64(n), cfg.Price, cfg.InitialQOH)
+		if err != nil {
+			return nil, err
+		}
+		if err := store.SetInsert(items, val.OfInt(int64(n)), item); err != nil {
+			return nil, err
+		}
+		for k := 0; k < cfg.OrdersPerItem; k++ {
+			orderNo := a.orderSeq.Add(1)
+			order, err := a.createOrder(orderNo, 100+orderNo, cfg.OrderQuantity)
+			if err != nil {
+				return nil, err
+			}
+			orders, err := store.TupleGet(item, CompOrders)
+			if err != nil {
+				return nil, err
+			}
+			if err := store.SetInsert(orders, val.OfInt(orderNo), order); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+// createItem builds an Item tuple (non-transactional population path).
+func (a *App) createItem(itemNo, price, qoh int64) (oid.OID, error) {
+	store := a.DB.Store()
+	noAtom, err := store.NewAtomic(val.OfInt(itemNo))
+	if err != nil {
+		return oid.Nil, err
+	}
+	priceAtom, err := store.NewAtomic(val.OfInt(price))
+	if err != nil {
+		return oid.Nil, err
+	}
+	qohAtom, err := store.NewAtomic(val.OfInt(qoh))
+	if err != nil {
+		return oid.Nil, err
+	}
+	orders, err := store.NewSet()
+	if err != nil {
+		return oid.Nil, err
+	}
+	item, err := store.NewTuple(
+		[]string{CompItemNo, CompPrice, CompQOH, CompOrders},
+		map[string]oid.OID{CompItemNo: noAtom, CompPrice: priceAtom, CompQOH: qohAtom, CompOrders: orders},
+	)
+	if err != nil {
+		return oid.Nil, err
+	}
+	if err := a.DB.BindInstance(item, "Item"); err != nil {
+		return oid.Nil, err
+	}
+	return item, nil
+}
+
+// createOrder builds an Order tuple with status "new" (empty event
+// set) — non-transactional population path.
+func (a *App) createOrder(orderNo, customerNo, quantity int64) (oid.OID, error) {
+	store := a.DB.Store()
+	noAtom, err := store.NewAtomic(val.OfInt(orderNo))
+	if err != nil {
+		return oid.Nil, err
+	}
+	custAtom, err := store.NewAtomic(val.OfInt(customerNo))
+	if err != nil {
+		return oid.Nil, err
+	}
+	qtyAtom, err := store.NewAtomic(val.OfInt(quantity))
+	if err != nil {
+		return oid.Nil, err
+	}
+	statusAtom, err := store.NewAtomic(val.OfEvents())
+	if err != nil {
+		return oid.Nil, err
+	}
+	order, err := store.NewTuple(
+		[]string{CompOrderNo, CompCustomer, CompQuantity, CompStatus},
+		map[string]oid.OID{CompOrderNo: noAtom, CompCustomer: custAtom, CompQuantity: qtyAtom, CompStatus: statusAtom},
+	)
+	if err != nil {
+		return oid.Nil, err
+	}
+	if err := a.DB.BindInstance(order, "Order"); err != nil {
+		return oid.Nil, err
+	}
+	return order, nil
+}
+
+// Item resolves an ItemNo to the item's OID (non-transactional helper
+// for tests and workload setup).
+func (a *App) Item(itemNo int64) (oid.OID, error) {
+	m, ok, err := a.DB.Store().SetSelect(a.Items, val.OfInt(itemNo))
+	if err != nil {
+		return oid.Nil, err
+	}
+	if !ok {
+		return oid.Nil, fmt.Errorf("orderentry: no item %d", itemNo)
+	}
+	return m, nil
+}
+
+// Order resolves (itemNo, orderNo) to the order's OID
+// (non-transactional helper).
+func (a *App) Order(itemNo, orderNo int64) (oid.OID, error) {
+	item, err := a.Item(itemNo)
+	if err != nil {
+		return oid.Nil, err
+	}
+	orders, err := a.DB.Component(item, CompOrders)
+	if err != nil {
+		return oid.Nil, err
+	}
+	m, ok, err := a.DB.Store().SetSelect(orders, val.OfInt(orderNo))
+	if err != nil {
+		return oid.Nil, err
+	}
+	if !ok {
+		return oid.Nil, fmt.Errorf("orderentry: no order %d for item %d", orderNo, itemNo)
+	}
+	return m, nil
+}
+
+// OrderNosOf returns the OrderNos of an item's pre-created orders
+// (sorted; non-transactional helper).
+func (a *App) OrderNosOf(itemNo int64) ([]int64, error) {
+	item, err := a.Item(itemNo)
+	if err != nil {
+		return nil, err
+	}
+	orders, err := a.DB.Component(item, CompOrders)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := a.DB.Store().SetScan(orders)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.Key.Int())
+	}
+	return out, nil
+}
+
+// StatusAtom returns the OID of an order's Status atomic object —
+// the implementation object that bypassing transactions read directly
+// (paper Figs. 5–7).
+func (a *App) StatusAtom(order oid.OID) (oid.OID, error) {
+	return a.DB.Component(order, CompStatus)
+}
+
+// QOHAtom returns the OID of an item's quantity-on-hand atom.
+func (a *App) QOHAtom(item oid.OID) (oid.OID, error) {
+	return a.DB.Component(item, CompQOH)
+}
+
+// NextOrderNo exposes the order-number allocator (used by tests).
+func (a *App) NextOrderNo() int64 { return a.orderSeq.Add(1) }
+
+// evArg converts an event constant to a method argument.
+func evArg(e val.Event) val.V { return val.OfStr(string(e)) }
+
+// argEv converts a method argument back to an event.
+func argEv(v val.V) val.Event { return val.Event(v.Str()) }
+
+// invOn builds an invocation on obj (helper for inverse functions).
+func invOn(obj oid.OID, method string, args ...val.V) *compat.Invocation {
+	c := compat.Inv(obj, method, args...)
+	return &c
+}
+
+// Attach binds a helper App to an already-populated database — after
+// oodb.Reopen, for instance. The method bodies registered at Setup
+// time stay valid (they close over the original App's order-number
+// allocator, which survives in process memory); Attach only rebinds
+// the navigation helpers. The allocator is advanced past every
+// existing OrderNo so fresh numbers stay unique.
+func Attach(db *oodb.DB) (*App, error) {
+	items, ok := db.Lookup("Items")
+	if !ok {
+		return nil, fmt.Errorf("orderentry: database has no Items binding")
+	}
+	a := &App{DB: db, Items: items}
+	entries, err := db.Store().SetScan(items)
+	if err != nil {
+		return nil, err
+	}
+	var maxNo int64
+	for _, ie := range entries {
+		orders, err := db.Component(ie.Member, CompOrders)
+		if err != nil {
+			return nil, err
+		}
+		os, err := db.Store().SetScan(orders)
+		if err != nil {
+			return nil, err
+		}
+		for _, oe := range os {
+			if oe.Key.Int() > maxNo {
+				maxNo = oe.Key.Int()
+			}
+		}
+	}
+	a.orderSeq.Store(maxNo)
+	return a, nil
+}

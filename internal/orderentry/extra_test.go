@@ -1,0 +1,190 @@
+package orderentry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"semcc/internal/core"
+	"semcc/internal/oodb"
+	"semcc/internal/val"
+)
+
+func TestNewOrderAbortCompensatesWithRemoveOrder(t *testing.T) {
+	app := newApp(t, core.Semantic, DefaultConfig())
+	item, _ := app.Item(1)
+
+	before, err := app.OrderNosOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := app.DB.Begin()
+	no, err := tx.Call(item, MNewOrder, val.OfInt(7), val.OfInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := app.OrderNosOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("order set changed after aborted NewOrder: %v -> %v", before, after)
+	}
+	if _, err := app.Order(1, no.Int()); err == nil {
+		t.Fatal("aborted order still resolvable")
+	}
+}
+
+func TestShipUnknownOrderFails(t *testing.T) {
+	app := newApp(t, core.Semantic, DefaultConfig())
+	item, _ := app.Item(1)
+	tx := app.DB.Begin()
+	_, err := tx.Call(item, MShipOrder, val.OfInt(9999))
+	if !errors.Is(err, ErrNoSuchOrder) {
+		t.Fatalf("err = %v, want ErrNoSuchOrder", err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMethodArgumentValidation(t *testing.T) {
+	app := newApp(t, core.Semantic, DefaultConfig())
+	item, _ := app.Item(1)
+	nos := mustNos(t, app, 1)
+	order, _ := app.Order(1, nos[0])
+	tx := app.DB.Begin()
+	for _, c := range []struct {
+		method string
+		args   []val.V
+	}{
+		{MNewOrder, nil},
+		{MShipOrder, nil},
+		{MPayOrder, nil},
+		{MRemoveOrder, nil},
+		{MUnshipOrder, nil},
+		{MUnpayOrder, nil},
+	} {
+		if _, err := tx.Call(item, c.method, c.args...); err == nil {
+			t.Errorf("%s with no args accepted", c.method)
+		}
+	}
+	for _, method := range []string{MChangeStatus, MTestStatus, MUnchangeStatus} {
+		if _, err := tx.Call(order, method); err == nil {
+			t.Errorf("%s with no args accepted", method)
+		}
+	}
+	_ = tx.Abort()
+}
+
+func TestDeadlockRetryHelper(t *testing.T) {
+	calls := 0
+	aborts, err := RunWithRetry(5, func() error {
+		calls++
+		if calls < 3 {
+			return core.ErrDeadlock
+		}
+		return nil
+	})
+	if err != nil || aborts != 2 || calls != 3 {
+		t.Fatalf("aborts=%d calls=%d err=%v", aborts, calls, err)
+	}
+	// Non-deadlock errors are not retried.
+	sentinel := errors.New("boom")
+	calls = 0
+	_, err = RunWithRetry(5, func() error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+	// Exhaustion returns the last deadlock.
+	_, err = RunWithRetry(2, func() error { return core.ErrDeadlock })
+	if !errors.Is(err, core.ErrDeadlock) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAttachResumesAllocator(t *testing.T) {
+	app := newApp(t, core.Semantic, DefaultConfig())
+	// Default config creates 8 orders (2 per item × 4).
+	db2 := oodb.Reopen(app.DB, oodb.Options{})
+	app2, err := Attach(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next := app2.NextOrderNo(); next != 9 {
+		t.Fatalf("allocator resumed at %d, want 9", next)
+	}
+	// Attach on a database without the binding fails.
+	empty := oodb.Open(oodb.Options{})
+	if _, err := Attach(empty); err == nil {
+		t.Fatal("Attach on empty database succeeded")
+	}
+}
+
+func TestTotalPaymentSeesOnlyCommittedPayments(t *testing.T) {
+	// A classic isolation check: while T2's payment is in flight, T5
+	// must not observe it (PayOrder/TotalPayment conflict at the item
+	// level), and after T2 commits it must.
+	app := newApp(t, core.Semantic, DefaultConfig())
+	nos1 := mustNos(t, app, 1)
+	item1, _ := app.Item(1)
+
+	tx2 := app.DB.Begin()
+	if _, err := tx2.Call(item1, MPayOrder, val.OfInt(nos1[0])); err != nil {
+		t.Fatal(err)
+	}
+	totalCh := make(chan int64, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		total, err := app.T5(1)
+		if err != nil {
+			t.Error(err)
+		}
+		totalCh <- total
+	}()
+	// T5 blocks behind the uncommitted payment.
+	select {
+	case total := <-totalCh:
+		t.Fatalf("T5 returned %d while payment uncommitted", total)
+	default:
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if total := <-totalCh; total != 10 {
+		t.Fatalf("T5 = %d after commit, want 10", total)
+	}
+}
+
+func TestConcurrentNewOrdersCommute(t *testing.T) {
+	// NewOrder/NewOrder is "ok" in the Fig. 2 matrix: concurrent
+	// order entry on the same item never blocks at the top level.
+	app := newApp(t, core.Semantic, DefaultConfig())
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int64) {
+			defer wg.Done()
+			if _, err := app.NewOrderTx(1, 500+i, 1); err != nil {
+				t.Error(err)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	nos, err := app.OrderNosOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nos) != 2+16 {
+		t.Fatalf("item 1 has %d orders, want 18", len(nos))
+	}
+	if st := app.DB.Engine().Stats(); st.RootWaits != 0 {
+		t.Errorf("NewOrders blocked at top level: %d", st.RootWaits)
+	}
+}

@@ -1,0 +1,81 @@
+package orderentry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semcc/internal/oodb"
+	"semcc/internal/serial"
+)
+
+// Program is one transaction program used by the serializability
+// checker: it runs a complete transaction against the app and returns
+// a canonical observation string (everything the transaction's caller
+// learned). Programs must be deterministic given the database state.
+type Program func(a *App) (string, error)
+
+// replayEnv adapts a freshly populated App to serial.Env.
+type replayEnv struct {
+	app   *App
+	progs []Program
+}
+
+// NewReplayFactory returns a serial.Env factory that builds a fresh
+// database with the given population for every serial replay. Note:
+// observations must not embed allocator-dependent values (fresh
+// OrderNos) — those differ between permutations.
+func NewReplayFactory(cfg Config, progs []Program) func() (serial.Env, error) {
+	return func() (serial.Env, error) {
+		db := oodb.Open(oodb.Options{})
+		app, err := Setup(db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &replayEnv{app: app, progs: progs}, nil
+	}
+}
+
+// RunTx implements serial.Env.
+func (e *replayEnv) RunTx(i int) (string, error) { return e.progs[i](e.app) }
+
+// FinalState implements serial.Env.
+func (e *replayEnv) FinalState() (string, error) {
+	states, err := e.app.Snapshot()
+	if err != nil {
+		return "", err
+	}
+	return CanonicalState(states), nil
+}
+
+// CanonicalState renders a snapshot as an OrderNo-insensitive
+// canonical string: per item, QOH plus the sorted multiset of order
+// facts. OrderNos are excluded because NewOrder draws fresh numbers
+// from an allocator whose sequence differs across replays.
+func CanonicalState(states []ItemState) string {
+	items := append([]ItemState(nil), states...)
+	sort.Slice(items, func(i, j int) bool { return items[i].ItemNo < items[j].ItemNo })
+	var b strings.Builder
+	for _, is := range items {
+		fmt.Fprintf(&b, "item %d price=%d qoh=%d orders=[", is.ItemNo, is.Price, is.QOH)
+		facts := make([]string, 0, len(is.Orders))
+		for _, os := range is.Orders {
+			facts = append(facts, fmt.Sprintf("(cust=%d qty=%d shipped=%t paid=%t)",
+				os.Customer, os.Quantity, os.Shipped, os.Paid))
+		}
+		sort.Strings(facts)
+		b.WriteString(strings.Join(facts, " "))
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// ConcurrentState returns the canonical state of this app (for the
+// concurrent side of a checker run).
+func (a *App) ConcurrentState() (string, error) {
+	states, err := a.Snapshot()
+	if err != nil {
+		return "", err
+	}
+	return CanonicalState(states), nil
+}

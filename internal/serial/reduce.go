@@ -1,0 +1,218 @@
+package serial
+
+import (
+	"fmt"
+	"sort"
+
+	"semcc/internal/compat"
+	"semcc/internal/history"
+)
+
+// TreeReducible implements the paper's §3 definition of semantic
+// serializability directly (the BBG89 reduction): a concurrent
+// execution of open nested transactions is serializable iff a serial
+// execution of the roots can be constructed by repeatedly
+//
+//  1. exchanging the order of two adjacent, non-interleaving subtrees
+//     whose roots are commuting actions, and
+//  2. reducing an isolated subtree to its root.
+//
+// The implementation works level by level on the committed forest:
+// the leaves, totally ordered by completion time, form the initial
+// sequence; at each level every node's items are checked to be
+// *isolatable* — every foreign item inside the node's span must
+// commute with all of the node's items — and then collapsed to a
+// single item carrying the node's own invocation. If the roots can be
+// isolated the execution is reducible, and the root order is the
+// witness serial order.
+//
+// Commutativity of two (possibly collapsed) items is decided by the
+// supplied table for same-object pairs and is true for different
+// objects. That rule is sound only when operations at the *same tree
+// level* always address comparable objects — i.e. for executions
+// without encapsulation bypass. For bypassed executions (a top-level
+// action on a subobject interleaved with a deep subtree) same-level
+// comparisons can miss cross-object semantic dependencies, so this
+// checker must not be used there; the replay-based checker
+// (serial.Check) has no such restriction. This mirrors the paper
+// exactly: the uniform-level reduction argument is why §3's protocol
+// is correct without bypass, and its failure under bypass is the
+// problem §4 solves.
+type ReduceResult struct {
+	// Reducible is true iff the forest reduces to a serial order of
+	// its roots.
+	Reducible bool
+	// Order is the witness serial order (root IDs) when reducible.
+	Order []uint64
+	// Reason describes the first obstruction otherwise.
+	Reason string
+}
+
+// item is one element of the reduction sequence.
+type redItem struct {
+	inv  compat.Invocation
+	node *history.Node // the original node collapsed into this item
+	pos  int64         // ordering key (completion time of the first leaf)
+}
+
+// TreeReducible runs the reduction over the committed roots of f.
+func TreeReducible(f *history.Forest, table compat.Table) ReduceResult {
+	roots := f.CommittedRoots()
+	if len(roots) == 0 {
+		return ReduceResult{Reducible: true}
+	}
+
+	// Initial sequence: committed leaves in completion order.
+	type seqEntry struct {
+		item redItem
+		path []*history.Node // ancestors root-first, excluding the leaf
+	}
+	var seq []seqEntry
+	for _, r := range roots {
+		var walk func(n *history.Node, path []*history.Node)
+		walk = func(n *history.Node, path []*history.Node) {
+			if n.IsLeaf() {
+				if !n.Committed {
+					return // aborted leaves were physically undone
+				}
+				seq = append(seq, seqEntry{
+					item: redItem{inv: n.Inv, node: n, pos: n.End},
+					path: append(append([]*history.Node(nil), path...), n),
+				})
+				return
+			}
+			for _, c := range n.Children {
+				walk(c, append(path, n))
+			}
+		}
+		walk(r, nil)
+	}
+	sort.Slice(seq, func(i, j int) bool { return seq[i].item.pos < seq[j].item.pos })
+
+	maxDepth := 0
+	for _, e := range seq {
+		if d := len(e.path) - 1; d > maxDepth {
+			maxDepth = d
+		}
+	}
+
+	commute := func(a, b redItem) bool {
+		if a.inv.Object != b.inv.Object {
+			return true
+		}
+		return table.Compatible(a.inv, b.inv)
+	}
+
+	// Collapse level by level: at depth d, group items whose ancestor
+	// at depth d exists; each group must be isolatable.
+	for d := maxDepth; d >= 1; d-- {
+		// Map: node at depth d -> positions of its items in seq.
+		groups := make(map[*history.Node][]int)
+		var order []*history.Node
+		for i, e := range seq {
+			if len(e.path) > d {
+				n := e.path[d]
+				if groups[n] == nil {
+					order = append(order, n)
+				}
+				groups[n] = append(groups[n], i)
+			}
+		}
+		if len(order) == 0 {
+			continue
+		}
+		// Isolation check per group, then rebuild the sequence with
+		// each group collapsed at its first item's position.
+		collapsed := make(map[int]seqEntry) // first-position -> new entry
+		drop := make(map[int]bool)
+		for _, n := range order {
+			pos := groups[n]
+			lo, hi := pos[0], pos[len(pos)-1]
+			mine := make(map[int]bool, len(pos))
+			for _, p := range pos {
+				mine[p] = true
+			}
+			for p := lo + 1; p < hi; p++ {
+				if mine[p] {
+					continue
+				}
+				// Foreign item inside the span: must commute with
+				// every item of the group.
+				for _, q := range pos {
+					if !commute(seq[p].item, seq[q].item) {
+						return ReduceResult{Reason: fmt.Sprintf(
+							"subtree %s (node %d) cannot be isolated: interleaved %s conflicts",
+							n.Inv, n.ID, seq[p].item.inv)}
+					}
+				}
+			}
+			// Collapse.
+			ne := seqEntry{
+				item: redItem{inv: n.Inv, node: n, pos: seq[lo].item.pos},
+				path: seq[lo].path[:d],
+			}
+			ne.path = append(append([]*history.Node(nil), seq[lo].path[:d]...), n)
+			collapsed[lo] = ne
+			for _, p := range pos[1:] {
+				drop[p] = true
+			}
+		}
+		var next []seqEntry
+		for i, e := range seq {
+			if ne, ok := collapsed[i]; ok {
+				next = append(next, ne)
+				continue
+			}
+			if drop[i] {
+				continue
+			}
+			next = append(next, e)
+		}
+		seq = next
+	}
+
+	// Final level: group by root with the same isolation rule.
+	groups := make(map[*history.Node][]int)
+	var order []*history.Node
+	for i, e := range seq {
+		r := e.path[0]
+		if groups[r] == nil {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	var res ReduceResult
+	type rootSpan struct {
+		root *history.Node
+		lo   int
+	}
+	var spans []rootSpan
+	for _, r := range order {
+		pos := groups[r]
+		lo, hi := pos[0], pos[len(pos)-1]
+		mine := make(map[int]bool, len(pos))
+		for _, p := range pos {
+			mine[p] = true
+		}
+		for p := lo + 1; p < hi; p++ {
+			if mine[p] {
+				continue
+			}
+			for _, q := range pos {
+				if !commute(seq[p].item, seq[q].item) {
+					res.Reason = fmt.Sprintf(
+						"transaction %d cannot be isolated: interleaved %s conflicts with %s",
+						r.ID, seq[p].item.inv, seq[q].item.inv)
+					return res
+				}
+			}
+		}
+		spans = append(spans, rootSpan{root: r, lo: lo})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	res.Reducible = true
+	for _, s := range spans {
+		res.Order = append(res.Order, s.root.ID)
+	}
+	return res
+}

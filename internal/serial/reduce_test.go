@@ -1,0 +1,97 @@
+package serial_test
+
+import (
+	"sync"
+	"testing"
+
+	"semcc/internal/core"
+	"semcc/internal/oodb"
+	"semcc/internal/orderentry"
+	"semcc/internal/serial"
+)
+
+func TestTreeReducibleAcceptsFig4(t *testing.T) {
+	// Concurrent T1/T2 executions under the semantic protocol (no
+	// bypass: T1 and T2 only invoke Item methods) must be
+	// tree-reducible with the order-entry matrices.
+	for rep := 0; rep < 5; rep++ {
+		db := oodb.Open(oodb.Options{Protocol: core.Semantic, Record: true})
+		app, err := orderentry.Setup(db, orderentry.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 := orderentry.OrderRef{ItemNo: 1, OrderNo: 1}
+		r2 := orderentry.OrderRef{ItemNo: 2, OrderNo: 3}
+		var wg sync.WaitGroup
+		var e1, e2 error
+		wg.Add(2)
+		go func() { defer wg.Done(); e1 = app.T1(r1, r2) }()
+		go func() { defer wg.Done(); e2 = app.T2(r1, r2) }()
+		wg.Wait()
+		if e1 != nil || e2 != nil {
+			t.Fatalf("T1: %v, T2: %v", e1, e2)
+		}
+		res := serial.TreeReducible(db.Engine().Forest(), db.Engine().Table())
+		if !res.Reducible {
+			t.Fatalf("rep %d: Fig. 4 style execution not reducible: %s\n%s",
+				rep, res.Reason, db.Engine().Forest())
+		}
+		if len(res.Order) != 2 {
+			t.Fatalf("witness order = %v", res.Order)
+		}
+	}
+}
+
+func TestTreeReducibleRejectsForgedInterleaving(t *testing.T) {
+	// Forge a history in which two ShipOrder subtrees on the same item
+	// interleave at the leaf level — ShipOrder/ShipOrder conflict, so
+	// the roots cannot be isolated.
+	db := oodb.Open(oodb.Options{Protocol: core.Semantic, Record: true})
+	app, err := orderentry.Setup(db, orderentry.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Produce two sequential committed T1-style transactions on the
+	// same item, then forge interleaving by editing timestamps.
+	if err := app.T1(orderentry.OrderRef{ItemNo: 1, OrderNo: 1}, orderentry.OrderRef{ItemNo: 2, OrderNo: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.T1(orderentry.OrderRef{ItemNo: 1, OrderNo: 2}, orderentry.OrderRef{ItemNo: 2, OrderNo: 4}); err != nil {
+		t.Fatal(err)
+	}
+	forest := db.Engine().Forest()
+	if len(forest.Roots) != 2 {
+		t.Fatal("need two roots")
+	}
+	// Interleave: give the second transaction's first leaf a timestamp
+	// inside the first transaction's first ShipOrder span.
+	firstShip := forest.Roots[0].Children[0]
+	victim := forest.Roots[1].Children[0].Children[0] // Select leaf of second T1
+	victim.End = firstShip.Children[1].End            // inside the span
+	res := serial.TreeReducible(forest, db.Engine().Table())
+	if res.Reducible {
+		t.Fatal("forged conflicting interleaving accepted as reducible")
+	}
+	if res.Reason == "" {
+		t.Error("no obstruction reported")
+	}
+}
+
+func TestTreeReducibleEmptyAndSingle(t *testing.T) {
+	db := oodb.Open(oodb.Options{Protocol: core.Semantic, Record: true})
+	app, err := orderentry.Setup(db, orderentry.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := serial.TreeReducible(db.Engine().Forest(), db.Engine().Table())
+	if !res.Reducible {
+		t.Fatal("empty forest must be reducible")
+	}
+	if err := app.T1(orderentry.OrderRef{ItemNo: 1, OrderNo: 1}, orderentry.OrderRef{ItemNo: 2, OrderNo: 3}); err != nil {
+		t.Fatal(err)
+	}
+	res = serial.TreeReducible(db.Engine().Forest(), db.Engine().Table())
+	if !res.Reducible || len(res.Order) != 1 {
+		t.Fatalf("single serial transaction: %+v", res)
+	}
+}

@@ -1,0 +1,244 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Disk is the backing store for pages. Implementations must be safe
+// for concurrent use.
+type Disk interface {
+	// ReadPage fills buf with the contents of page id.
+	ReadPage(id uint32, buf *[PageSize]byte) error
+	// WritePage persists buf as the contents of page id.
+	WritePage(id uint32, buf *[PageSize]byte) error
+	// Allocate reserves a fresh page id.
+	Allocate() (uint32, error)
+	// NumPages returns the number of allocated pages.
+	NumPages() uint32
+}
+
+// MemDisk is an in-memory Disk. It is the default backing store; the
+// paper's protocol is storage-layout agnostic, so an in-memory "disk"
+// preserves all concurrency-control-relevant behaviour (DESIGN.md
+// §3.5) while keeping experiments deterministic.
+type MemDisk struct {
+	mu    sync.Mutex
+	pages [][]byte
+}
+
+// NewMemDisk returns an empty in-memory disk.
+func NewMemDisk() *MemDisk { return &MemDisk{} }
+
+// ReadPage implements Disk.
+func (d *MemDisk) ReadPage(id uint32, buf *[PageSize]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	copy(buf[:], d.pages[id])
+	return nil
+}
+
+// WritePage implements Disk.
+func (d *MemDisk) WritePage(id uint32, buf *[PageSize]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	copy(d.pages[id], buf[:])
+	return nil
+}
+
+// Allocate implements Disk.
+func (d *MemDisk) Allocate() (uint32, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := uint32(len(d.pages))
+	d.pages = append(d.pages, make([]byte, PageSize))
+	return id, nil
+}
+
+// NumPages implements Disk.
+func (d *MemDisk) NumPages() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return uint32(len(d.pages))
+}
+
+// frame is a buffer-pool slot.
+type frame struct {
+	page    Page
+	id      uint32
+	pins    int
+	dirty   bool
+	valid   bool
+	lruElem *list.Element
+}
+
+// Pool is a buffer pool with LRU replacement of unpinned frames.
+type Pool struct {
+	mu       sync.Mutex
+	disk     Disk
+	frames   []frame
+	byPage   map[uint32]int // page id -> frame index
+	lru      *list.List     // of frame indexes; front = most recent
+	hits     uint64
+	misses   uint64
+	evicts   uint64
+	capacity int
+}
+
+// NewPool returns a buffer pool of the given capacity (in frames) over
+// disk. Capacity must be at least 1.
+func NewPool(disk Disk, capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		disk:     disk,
+		frames:   make([]frame, capacity),
+		byPage:   make(map[uint32]int, capacity),
+		lru:      list.New(),
+		capacity: capacity,
+	}
+}
+
+// Stats reports hit/miss/eviction counters.
+func (bp *Pool) Stats() (hits, misses, evicts uint64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses, bp.evicts
+}
+
+// NewPage allocates a fresh, formatted page, pins it, and returns it.
+func (bp *Pool) NewPage() (*Page, error) {
+	id, err := bp.disk.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	idx, err := bp.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &bp.frames[idx]
+	f.page.initPage(id)
+	f.id = id
+	f.pins = 1
+	f.dirty = true
+	f.valid = true
+	bp.byPage[id] = idx
+	bp.touchLocked(idx)
+	return &f.page, nil
+}
+
+// Fetch pins page id and returns it, reading from disk on a miss.
+func (bp *Pool) Fetch(id uint32) (*Page, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if idx, ok := bp.byPage[id]; ok {
+		bp.hits++
+		f := &bp.frames[idx]
+		f.pins++
+		bp.touchLocked(idx)
+		return &f.page, nil
+	}
+	bp.misses++
+	idx, err := bp.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &bp.frames[idx]
+	if err := bp.disk.ReadPage(id, &f.page.buf); err != nil {
+		f.valid = false
+		return nil, err
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = false
+	f.valid = true
+	bp.byPage[id] = idx
+	bp.touchLocked(idx)
+	return &f.page, nil
+}
+
+// Unpin releases one pin on page id, marking it dirty if the caller
+// modified it.
+func (bp *Pool) Unpin(id uint32, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	idx, ok := bp.byPage[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of non-resident page %d", id)
+	}
+	f := &bp.frames[idx]
+	if f.pins <= 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	return nil
+}
+
+// FlushAll writes every dirty resident page to disk.
+func (bp *Pool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for i := range bp.frames {
+		f := &bp.frames[i]
+		if f.valid && f.dirty {
+			if err := bp.disk.WritePage(f.id, &f.page.buf); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// victimLocked returns the index of a free or evictable frame.
+func (bp *Pool) victimLocked() (int, error) {
+	for i := range bp.frames {
+		if !bp.frames[i].valid {
+			if bp.frames[i].lruElem == nil {
+				bp.frames[i].lruElem = bp.lru.PushFront(i)
+			}
+			return i, nil
+		}
+	}
+	// Scan LRU from the back for an unpinned frame.
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		idx := e.Value.(int)
+		f := &bp.frames[idx]
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			if err := bp.disk.WritePage(f.id, &f.page.buf); err != nil {
+				return 0, err
+			}
+		}
+		delete(bp.byPage, f.id)
+		f.valid = false
+		f.dirty = false
+		bp.evicts++
+		return idx, nil
+	}
+	return 0, fmt.Errorf("storage: buffer pool exhausted (all %d frames pinned)", bp.capacity)
+}
+
+func (bp *Pool) touchLocked(idx int) {
+	f := &bp.frames[idx]
+	if f.lruElem == nil {
+		f.lruElem = bp.lru.PushFront(idx)
+		return
+	}
+	bp.lru.MoveToFront(f.lruElem)
+}

@@ -1,0 +1,173 @@
+package val
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"semcc/internal/oid"
+)
+
+// Generate implements quick.Generator, producing arbitrary values of
+// every type.
+func (V) Generate(r *rand.Rand, size int) reflect.Value {
+	var v V
+	switch r.Intn(7) {
+	case 0:
+		v = NullV
+	case 1:
+		v = OfInt(r.Int63() - r.Int63())
+	case 2:
+		v = OfFloat(r.NormFloat64())
+	case 3:
+		b := make([]byte, r.Intn(32))
+		r.Read(b)
+		v = OfStr(string(b))
+	case 4:
+		v = OfBool(r.Intn(2) == 0)
+	case 5:
+		v = OfRef(oid.OID{K: oid.Kind(1 + r.Intn(4)), N: r.Uint64()})
+	default:
+		evs := make([]Event, r.Intn(5))
+		names := []Event{"shipped", "paid", "billed"}
+		for i := range evs {
+			evs[i] = names[r.Intn(len(names))]
+		}
+		v = OfEvents(evs...)
+	}
+	return reflect.ValueOf(v)
+}
+
+// Property: Marshal/Unmarshal round-trips every value.
+func TestMarshalRoundTrip(t *testing.T) {
+	f := func(v V) bool {
+		got, n, err := Unmarshal(v.Marshal())
+		return err == nil && n == len(v.Marshal()) && got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Equal is reflexive and symmetric.
+func TestEqualProperties(t *testing.T) {
+	refl := func(v V) bool { return v.Equal(v) }
+	if err := quick.Check(refl, nil); err != nil {
+		t.Fatal("reflexivity:", err)
+	}
+	sym := func(a, b V) bool { return a.Equal(b) == b.Equal(a) }
+	if err := quick.Check(sym, nil); err != nil {
+		t.Fatal("symmetry:", err)
+	}
+}
+
+// Property: event multiset add/remove are exact inverses, and adds
+// commute with each other in any order.
+func TestEventMultisetProperties(t *testing.T) {
+	addRemove := func(v V, e byte) bool {
+		if v.T != Events {
+			v = OfEvents()
+		}
+		ev := Event([]byte{'a' + e%3})
+		return v.WithEvent(ev).WithoutEvent(ev).Equal(v)
+	}
+	if err := quick.Check(addRemove, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal("add/remove inverse:", err)
+	}
+	commute := func(order []bool) bool {
+		// Apply the same multiset of adds in two different orders.
+		a, b := OfEvents(), OfEvents()
+		var evs []Event
+		for i, x := range order {
+			ev := Event([]byte{'a' + byte(i%3)})
+			if x {
+				evs = append(evs, ev)
+			}
+		}
+		for _, e := range evs {
+			a = a.WithEvent(e)
+		}
+		for i := len(evs) - 1; i >= 0; i-- {
+			b = b.WithEvent(evs[i])
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(commute, nil); err != nil {
+		t.Fatal("add commutativity:", err)
+	}
+}
+
+func TestEventCounts(t *testing.T) {
+	v := OfEvents("shipped", "shipped", "paid")
+	if got := v.EventCount("shipped"); got != 2 {
+		t.Errorf("count(shipped) = %d, want 2", got)
+	}
+	if !v.HasEvent("paid") || v.HasEvent("billed") {
+		t.Error("HasEvent wrong")
+	}
+	v = v.WithoutEvent("shipped")
+	if got := v.EventCount("shipped"); got != 1 {
+		t.Errorf("after remove, count = %d, want 1", got)
+	}
+	if !v.WithoutEvent("billed").Equal(v) {
+		t.Error("removing absent event must be a no-op")
+	}
+}
+
+func TestAccessorsAndString(t *testing.T) {
+	cases := []struct {
+		v    V
+		want string
+	}{
+		{OfInt(-7), "-7"},
+		{OfFloat(2.5), "2.5"},
+		{OfStr("hi"), `"hi"`},
+		{OfBool(true), "true"},
+		{OfRef(oid.OID{K: oid.Tuple, N: 3}), "tuple:3"},
+		{OfEvents("paid", "shipped"), "{paid,shipped}"},
+		{NullV, "null"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if OfInt(5).Int() != 5 || OfFloat(1.5).Float() != 1.5 || OfStr("x").Str() != "x" ||
+		!OfBool(true).Bool() || OfRef(oid.DB).Ref() != oid.DB {
+		t.Error("accessor mismatch")
+	}
+	if !NullV.IsNull() || OfInt(0).IsNull() {
+		t.Error("IsNull wrong")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{byte(Int)},           // missing payload
+		{byte(Float), 1, 2},   // short float
+		{byte(Str), 200},      // length beyond buffer
+		{byte(Bool)},          // missing payload
+		{byte(Ref)},           // missing payload
+		{byte(Events), 3, 10}, // truncated events
+		{99},                  // unknown tag
+	}
+	for _, b := range bad {
+		if _, _, err := Unmarshal(b); err == nil {
+			t.Errorf("Unmarshal(%v): expected error", b)
+		}
+	}
+}
+
+func TestTypeNames(t *testing.T) {
+	names := map[Type]string{
+		Null: "null", Int: "int", Float: "float", Str: "string",
+		Bool: "bool", Ref: "ref", Events: "events",
+	}
+	for ty, want := range names {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+}

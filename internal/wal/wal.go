@@ -1,0 +1,350 @@
+// Package wal implements write-ahead logging and restart recovery for
+// open nested transactions — the multilevel recovery discipline the
+// paper points to as future work (§5, citing [WHBM90]).
+//
+// The engine journals the invocation hierarchy: node begins,
+// subtransaction commits with their registered inverses, abort
+// progress, and top-level outcomes. On restart, Recover replays the
+// journal to reconstruct each in-flight transaction's pending undo —
+// exactly the compensation state the crashed engine held — and applies
+// the remaining inverses through a fresh engine, so loser transactions
+// are rolled back *logically*, at the highest committed level, just as
+// a live abort would.
+//
+// Scope: the object store survives a crash in this simulation (all
+// leaf writes reach it synchronously, i.e. a steal/force buffer
+// policy at leaf granularity); the log's job is purely the undo of
+// losers. Redo logging for a no-force buffer pool is orthogonal and
+// out of scope, as is logging of schema (method bodies are code).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"semcc/internal/compat"
+	"semcc/internal/core"
+	"semcc/internal/oid"
+	"semcc/internal/oodb"
+	"semcc/internal/val"
+)
+
+// Log is an in-memory write-ahead log implementing core.Journal. Use
+// Marshal/Unmarshal to simulate durable storage.
+type Log struct {
+	mu   sync.Mutex
+	recs []core.JournalRecord
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append implements core.Journal.
+func (l *Log) Append(rec core.JournalRecord) {
+	l.mu.Lock()
+	l.recs = append(l.recs, rec)
+	l.mu.Unlock()
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Records returns a snapshot of the log.
+func (l *Log) Records() []core.JournalRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]core.JournalRecord(nil), l.recs...)
+}
+
+// Reset truncates the log (checkpoint after successful recovery).
+func (l *Log) Reset() {
+	l.mu.Lock()
+	l.recs = nil
+	l.mu.Unlock()
+}
+
+// Marshal serialises the log.
+func (l *Log) Marshal() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(l.recs)))
+	for _, r := range l.recs {
+		buf = append(buf, byte(r.Kind))
+		buf = binary.AppendUvarint(buf, r.Node)
+		buf = binary.AppendUvarint(buf, r.Parent)
+		if r.Splice {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		if r.Inv == nil {
+			buf = append(buf, 0)
+		} else {
+			buf = append(buf, 1)
+			buf = append(buf, byte(r.Inv.Object.K))
+			buf = binary.AppendUvarint(buf, r.Inv.Object.N)
+			buf = binary.AppendUvarint(buf, uint64(len(r.Inv.Method)))
+			buf = append(buf, r.Inv.Method...)
+			buf = binary.AppendUvarint(buf, uint64(len(r.Inv.Args)))
+			for _, a := range r.Inv.Args {
+				ab := a.Marshal()
+				buf = binary.AppendUvarint(buf, uint64(len(ab)))
+				buf = append(buf, ab...)
+			}
+		}
+	}
+	return buf
+}
+
+// Unmarshal reconstructs a log serialised by Marshal.
+func Unmarshal(b []byte) (*Log, error) {
+	l := NewLog()
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, fmt.Errorf("wal: bad record count")
+	}
+	p := k
+	next := func() (uint64, error) {
+		v, k := binary.Uvarint(b[p:])
+		if k <= 0 {
+			return 0, fmt.Errorf("wal: truncated varint at %d", p)
+		}
+		p += k
+		return v, nil
+	}
+	for i := uint64(0); i < n; i++ {
+		if p >= len(b) {
+			return nil, fmt.Errorf("wal: truncated record %d", i)
+		}
+		var r core.JournalRecord
+		r.Kind = core.JournalKind(b[p])
+		p++
+		node, err := next()
+		if err != nil {
+			return nil, err
+		}
+		parent, err := next()
+		if err != nil {
+			return nil, err
+		}
+		r.Node, r.Parent = node, parent
+		if p+2 > len(b) {
+			return nil, fmt.Errorf("wal: truncated flags in record %d", i)
+		}
+		r.Splice = b[p] == 1
+		p++
+		hasInv := b[p] == 1
+		p++
+		if hasInv {
+			if p >= len(b) {
+				return nil, fmt.Errorf("wal: truncated invocation in record %d", i)
+			}
+			kind := oid.Kind(b[p])
+			p++
+			objN, err := next()
+			if err != nil {
+				return nil, err
+			}
+			mlen, err := next()
+			if err != nil {
+				return nil, err
+			}
+			if p+int(mlen) > len(b) {
+				return nil, fmt.Errorf("wal: truncated method in record %d", i)
+			}
+			method := string(b[p : p+int(mlen)])
+			p += int(mlen)
+			argc, err := next()
+			if err != nil {
+				return nil, err
+			}
+			args := make([]val.V, 0, argc)
+			for j := uint64(0); j < argc; j++ {
+				alen, err := next()
+				if err != nil {
+					return nil, err
+				}
+				if p+int(alen) > len(b) {
+					return nil, fmt.Errorf("wal: truncated argument in record %d", i)
+				}
+				v, _, err := val.Unmarshal(b[p : p+int(alen)])
+				if err != nil {
+					return nil, err
+				}
+				p += int(alen)
+				args = append(args, v)
+			}
+			inv := compat.Invocation{Object: oid.OID{K: kind, N: objN}, Method: method, Args: args}
+			r.Inv = &inv
+		}
+		l.recs = append(l.recs, r)
+	}
+	return l, nil
+}
+
+// replayNode mirrors the engine's per-node compensation state.
+type replayNode struct {
+	id      uint64
+	parent  *replayNode
+	root    *replayNode
+	depth   int
+	state   core.State
+	undo    []compat.Invocation
+	pending []compat.Invocation // remaining undo after AbortStart, in application order
+	started bool                // AbortStart seen
+}
+
+// Analysis is the outcome of the log analysis pass.
+type Analysis struct {
+	// Committed top-level transaction ids (winners).
+	Committed []uint64
+	// Losers: in-flight or mid-abort top-level transactions, each with
+	// the compensating invocations still to apply, in order.
+	Losers []Loser
+}
+
+// Loser is one transaction requiring rollback completion.
+type Loser struct {
+	Root    uint64
+	Pending []compat.Invocation
+}
+
+// Analyze replays the log and computes winners and losers with their
+// pending undo work.
+func Analyze(l *Log) (*Analysis, error) {
+	nodes := make(map[uint64]*replayNode)
+	var roots []*replayNode
+	committed := make(map[uint64]bool)
+	fullyAborted := make(map[uint64]bool)
+
+	for _, r := range l.Records() {
+		switch r.Kind {
+		case core.JBeginRoot:
+			n := &replayNode{id: r.Node, state: core.Active}
+			n.root = n
+			nodes[r.Node] = n
+			roots = append(roots, n)
+		case core.JBegin:
+			p, ok := nodes[r.Parent]
+			if !ok {
+				return nil, fmt.Errorf("wal: begin of %d under unknown parent %d", r.Node, r.Parent)
+			}
+			n := &replayNode{id: r.Node, parent: p, root: p.root, depth: p.depth + 1, state: core.Active}
+			nodes[r.Node] = n
+		case core.JSubCommit:
+			n, ok := nodes[r.Node]
+			if !ok {
+				return nil, fmt.Errorf("wal: subcommit of unknown node %d", r.Node)
+			}
+			n.state = core.Committed
+			if n.parent != nil {
+				if r.Splice {
+					n.parent.undo = append(n.parent.undo, n.undo...)
+				} else if r.Inv != nil {
+					n.parent.undo = append(n.parent.undo, *r.Inv)
+				}
+			}
+			n.undo = nil
+		case core.JAbortStart:
+			n, ok := nodes[r.Node]
+			if !ok {
+				return nil, fmt.Errorf("wal: abort-start of unknown node %d", r.Node)
+			}
+			n.started = true
+			// The engine applies the undo list in reverse; keep the
+			// pending list in application order.
+			for i := len(n.undo) - 1; i >= 0; i-- {
+				n.pending = append(n.pending, n.undo[i])
+			}
+			n.undo = nil
+		case core.JCompensated:
+			n, ok := nodes[r.Node]
+			if !ok || len(n.pending) == 0 {
+				return nil, fmt.Errorf("wal: compensated record without pending undo on node %d", r.Node)
+			}
+			n.pending = n.pending[1:]
+		case core.JNodeAborted:
+			n, ok := nodes[r.Node]
+			if !ok {
+				return nil, fmt.Errorf("wal: aborted record for unknown node %d", r.Node)
+			}
+			n.state = core.Aborted
+			n.pending = nil
+			n.undo = nil
+			if n.parent == nil {
+				fullyAborted[n.id] = true
+			}
+		case core.JRootCommit:
+			committed[r.Node] = true
+			if n, ok := nodes[r.Node]; ok {
+				n.state = core.Committed
+			}
+		}
+	}
+
+	a := &Analysis{}
+	for _, r := range roots {
+		if committed[r.id] {
+			a.Committed = append(a.Committed, r.id)
+			continue
+		}
+		if fullyAborted[r.id] {
+			continue
+		}
+		// Loser: collect pending undo along the tree's still-active
+		// (or mid-abort) nodes, deepest first — the completion of the
+		// rollback the crashed engine owed.
+		var active []*replayNode
+		for _, n := range nodes {
+			if n.root == r && (n.state == core.Active) {
+				active = append(active, n)
+			}
+		}
+		sort.Slice(active, func(i, j int) bool { return active[i].depth > active[j].depth })
+		var pend []compat.Invocation
+		for _, n := range active {
+			if n.started {
+				pend = append(pend, n.pending...)
+			} else {
+				for i := len(n.undo) - 1; i >= 0; i-- {
+					pend = append(pend, n.undo[i])
+				}
+			}
+		}
+		a.Losers = append(a.Losers, Loser{Root: r.id, Pending: pend})
+	}
+	sort.Slice(a.Committed, func(i, j int) bool { return a.Committed[i] < a.Committed[j] })
+	sort.Slice(a.Losers, func(i, j int) bool { return a.Losers[i].Root < a.Losers[j].Root })
+	return a, nil
+}
+
+// Recover completes the rollback of every loser transaction against
+// db (typically a freshly Reopen-ed database sharing the crashed
+// instance's store). Each loser's pending compensations run in one
+// recovery transaction. It returns the analysis for inspection.
+func Recover(db *oodb.DB, l *Log) (*Analysis, error) {
+	a, err := Analyze(l)
+	if err != nil {
+		return nil, err
+	}
+	for _, loser := range a.Losers {
+		tx := db.Begin()
+		for _, inv := range loser.Pending {
+			if _, err := tx.Exec(inv); err != nil {
+				_ = tx.Abort()
+				return a, fmt.Errorf("wal: recovery of tx %d: compensation %s failed: %w", loser.Root, inv, err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return a, err
+		}
+	}
+	return a, nil
+}

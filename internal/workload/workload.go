@@ -1,0 +1,474 @@
+// Package workload drives the order-entry application with a
+// closed-loop multi-client workload: a configurable mix of the paper's
+// transaction types T1–T5 plus NewOrder and bypass transactions,
+// uniform or Zipfian item selection, deadlock retry, and metrics
+// collection. The experiment harness (internal/harness) runs it once
+// per protocol and parameter point.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semcc/internal/core"
+	"semcc/internal/oodb"
+	"semcc/internal/orderentry"
+	"semcc/internal/val"
+)
+
+// TxKind enumerates the workload's transaction types.
+type TxKind int
+
+const (
+	// KindT1 ships two orders for two different items.
+	KindT1 TxKind = iota
+	// KindT2 pays two orders for two different items.
+	KindT2
+	// KindT3 checks shipment of two orders (method bypass of Item).
+	KindT3
+	// KindT4 checks payment of two orders (method bypass of Item).
+	KindT4
+	// KindT5 computes an item's total payment.
+	KindT5
+	// KindNewOrder enters one new order.
+	KindNewOrder
+	// KindBypassRead audits order statuses with raw Gets (pure
+	// conventional transaction).
+	KindBypassRead
+	// KindBypassWrite updates an order's customer number with raw
+	// Get+Put (pure conventional transaction).
+	KindBypassWrite
+	numKinds int = iota
+)
+
+// String names the kind.
+func (k TxKind) String() string {
+	switch k {
+	case KindT1:
+		return "T1-ship"
+	case KindT2:
+		return "T2-pay"
+	case KindT3:
+		return "T3-checkship"
+	case KindT4:
+		return "T4-checkpay"
+	case KindT5:
+		return "T5-total"
+	case KindNewOrder:
+		return "NewOrder"
+	case KindBypassRead:
+		return "BypassRead"
+	case KindBypassWrite:
+		return "BypassWrite"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Mix is a weighted transaction mix.
+type Mix map[TxKind]int
+
+// StandardMix mirrors the paper's scenario: mostly T1/T2 updates with
+// status checks and totals.
+func StandardMix() Mix {
+	return Mix{KindT1: 25, KindT2: 25, KindT3: 15, KindT4: 15, KindT5: 10, KindNewOrder: 10}
+}
+
+// ReadHeavyMix emphasises the commuting readers.
+func ReadHeavyMix() Mix {
+	return Mix{KindT1: 10, KindT2: 10, KindT3: 30, KindT4: 30, KindT5: 20}
+}
+
+// UpdateOnlyMix is pure T1/T2.
+func UpdateOnlyMix() Mix { return Mix{KindT1: 50, KindT2: 50} }
+
+// BypassOnlyMix contains only conventional (generic-operation)
+// transactions — the "special case" claim E4 measures.
+func BypassOnlyMix() Mix { return Mix{KindBypassRead: 50, KindBypassWrite: 50} }
+
+// Config parameterises one workload run.
+type Config struct {
+	// Protocol selects the concurrency control protocol.
+	Protocol core.ProtocolKind
+	// NoAncestorRelief forwards the E5 ablation knob to the engine.
+	NoAncestorRelief bool
+	// Items is the number of items; contention falls as it grows.
+	Items int
+	// OrdersPerItem sizes each item's pre-created order pool. It must
+	// be large enough that T1 never runs out of unshipped orders:
+	// ships consume pool entries.
+	OrdersPerItem int
+	// InitialQOH is each item's starting stock.
+	InitialQOH int64
+	// Clients is the multiprogramming level (concurrent clients).
+	Clients int
+	// TxPerClient is the number of transactions each client runs.
+	TxPerClient int
+	// Mix is the transaction mix (defaults to StandardMix).
+	Mix Mix
+	// ZipfS > 1 selects Zipfian item skew; 0 selects uniform.
+	ZipfS float64
+	// Seed seeds the per-run RNG (deterministic picks per client).
+	Seed int64
+	// MaxRetries bounds deadlock retries per transaction.
+	MaxRetries int
+	// Validate runs the conservation invariant check after the run.
+	Validate bool
+}
+
+// Metrics summarises one workload run.
+type Metrics struct {
+	Config     Config
+	Committed  uint64
+	Aborted    uint64 // transactions that permanently failed
+	Retries    uint64 // deadlock retries
+	Elapsed    time.Duration
+	Throughput float64 // committed transactions per second
+	Engine     core.StatsSnapshot
+}
+
+// AvgWaitMicros returns the mean blocked time per blocking lock
+// request, in microseconds.
+func (m Metrics) AvgWaitMicros() float64 {
+	if m.Engine.Blocks == 0 {
+		return 0
+	}
+	return float64(m.Engine.WaitNanos) / float64(m.Engine.Blocks) / 1e3
+}
+
+// BlockRate returns blocked lock requests per committed transaction.
+func (m Metrics) BlockRate() float64 {
+	if m.Committed == 0 {
+		return 0
+	}
+	return float64(m.Engine.Blocks) / float64(m.Committed)
+}
+
+// Run executes the workload and returns its metrics.
+func Run(cfg Config) (Metrics, error) {
+	if cfg.Mix == nil {
+		cfg.Mix = StandardMix()
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 50
+	}
+	if cfg.Items <= 0 {
+		cfg.Items = 4
+	}
+	shipBudget := cfg.Clients*cfg.TxPerClient*2 + cfg.Items // worst case: all T1
+	if cfg.OrdersPerItem == 0 {
+		cfg.OrdersPerItem = shipBudget/cfg.Items + 2
+	}
+	if cfg.InitialQOH == 0 {
+		cfg.InitialQOH = int64(shipBudget) * 2
+	}
+
+	db := oodb.Open(oodb.Options{
+		Protocol:         cfg.Protocol,
+		NoAncestorRelief: cfg.NoAncestorRelief,
+	})
+	app, err := orderentry.Setup(db, orderentry.Config{
+		Items:         cfg.Items,
+		OrdersPerItem: cfg.OrdersPerItem,
+		InitialQOH:    cfg.InitialQOH,
+		Price:         10,
+		OrderQuantity: 1,
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+	return RunOn(app, cfg)
+}
+
+// RunOn executes the workload against an existing app (used by the
+// benchmarks to amortise population cost).
+func RunOn(app *orderentry.App, cfg Config) (Metrics, error) {
+	if cfg.Mix == nil {
+		cfg.Mix = StandardMix()
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 50
+	}
+	picker, err := newPicker(app, cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	var committed, aborted, retries atomic.Uint64
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(client)*7919))
+			for i := 0; i < cfg.TxPerClient; i++ {
+				kind := picker.kind(rng)
+				var lastErr error
+				ok := false
+				for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+					lastErr = picker.execute(kind, rng)
+					if lastErr == nil {
+						ok = true
+						break
+					}
+					if !isRetryable(lastErr) {
+						break
+					}
+					retries.Add(1)
+				}
+				if ok {
+					committed.Add(1)
+				} else {
+					aborted.Add(1)
+					if lastErr != nil && !isRetryable(lastErr) {
+						select {
+						case errCh <- fmt.Errorf("workload: client %d %s: %w", client, kind, lastErr):
+						default:
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return Metrics{}, err
+	default:
+	}
+
+	m := Metrics{
+		Config:    cfg,
+		Committed: committed.Load(),
+		Aborted:   aborted.Load(),
+		Retries:   retries.Load(),
+		Elapsed:   elapsed,
+		Engine:    app.DB.Engine().Stats(),
+	}
+	if elapsed > 0 {
+		m.Throughput = float64(m.Committed) / elapsed.Seconds()
+	}
+	if cfg.Validate {
+		states, err := app.Snapshot()
+		if err != nil {
+			return m, err
+		}
+		if err := orderentry.CheckConservation(states, cfg.InitialQOH); err != nil {
+			return m, fmt.Errorf("workload: invariant violated after run: %w", err)
+		}
+	}
+	return m, nil
+}
+
+func isRetryable(err error) bool {
+	// Deadlock victims retry; a ship that raced out of pool entries
+	// retries with a different pick as well.
+	return err != nil && (errIs(err, core.ErrDeadlock) || errIs(err, errPoolExhausted))
+}
+
+var errPoolExhausted = fmt.Errorf("workload: ship pool exhausted")
+
+func errIs(err, target error) bool {
+	for e := err; e != nil; {
+		if e == target {
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := e.(unwrapper)
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// picker pre-resolves the population and picks transaction targets.
+type picker struct {
+	app   *orderentry.App
+	cfg   Config
+	kinds []TxKind // cumulative pick table
+	// orders[i] is item i+1's pre-created order numbers.
+	orders [][]int64
+	// nextShip[i] dispenses each item's next unshipped order index, so
+	// no order is ever shipped twice (keeps the conservation invariant
+	// checkable).
+	nextShip []atomic.Int64
+	zipf     *zipfTable
+}
+
+func newPicker(app *orderentry.App, cfg Config) (*picker, error) {
+	p := &picker{app: app, cfg: cfg}
+	total := 0
+	for k := TxKind(0); int(k) < numKinds; k++ {
+		total += cfg.Mix[k]
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("workload: empty mix")
+	}
+	for k := TxKind(0); int(k) < numKinds; k++ {
+		for i := 0; i < cfg.Mix[k]; i++ {
+			p.kinds = append(p.kinds, k)
+		}
+	}
+	p.orders = make([][]int64, cfg.Items)
+	p.nextShip = make([]atomic.Int64, cfg.Items)
+	for i := 1; i <= cfg.Items; i++ {
+		nos, err := app.OrderNosOf(int64(i))
+		if err != nil {
+			return nil, err
+		}
+		p.orders[i-1] = nos
+	}
+	if cfg.ZipfS > 1 {
+		p.zipf = newZipfTable(cfg.Items, cfg.ZipfS)
+	}
+	return p, nil
+}
+
+func (p *picker) kind(rng *rand.Rand) TxKind {
+	return p.kinds[rng.Intn(len(p.kinds))]
+}
+
+// item picks an item number in [1, Items].
+func (p *picker) item(rng *rand.Rand) int64 {
+	if p.zipf != nil {
+		return int64(p.zipf.pick(rng) + 1)
+	}
+	return int64(rng.Intn(p.cfg.Items) + 1)
+}
+
+// twoItems picks two distinct items (paper: "two different items").
+func (p *picker) twoItems(rng *rand.Rand) (int64, int64) {
+	if p.cfg.Items == 1 {
+		return 1, 1
+	}
+	a := p.item(rng)
+	b := p.item(rng)
+	for b == a {
+		b = p.item(rng)
+	}
+	return a, b
+}
+
+// anyOrder picks a random pre-created order of an item.
+func (p *picker) anyOrder(rng *rand.Rand, item int64) orderentry.OrderRef {
+	nos := p.orders[item-1]
+	return orderentry.OrderRef{ItemNo: item, OrderNo: nos[rng.Intn(len(nos))]}
+}
+
+// shipTarget dispenses an unshipped order of an item.
+func (p *picker) shipTarget(item int64) (orderentry.OrderRef, error) {
+	idx := p.nextShip[item-1].Add(1) - 1
+	nos := p.orders[item-1]
+	if int(idx) >= len(nos) {
+		return orderentry.OrderRef{}, errPoolExhausted
+	}
+	return orderentry.OrderRef{ItemNo: item, OrderNo: nos[idx]}, nil
+}
+
+// execute runs one transaction of the given kind.
+func (p *picker) execute(kind TxKind, rng *rand.Rand) error {
+	switch kind {
+	case KindT1:
+		i1, i2 := p.twoItems(rng)
+		r1, err := p.shipTarget(i1)
+		if err != nil {
+			return err
+		}
+		r2, err := p.shipTarget(i2)
+		if err != nil {
+			return err
+		}
+		return p.app.T1(r1, r2)
+	case KindT2:
+		i1, i2 := p.twoItems(rng)
+		return p.app.T2(p.anyOrder(rng, i1), p.anyOrder(rng, i2))
+	case KindT3:
+		i1, i2 := p.twoItems(rng)
+		_, _, err := p.app.T3(p.anyOrder(rng, i1), p.anyOrder(rng, i2))
+		return err
+	case KindT4:
+		i1, i2 := p.twoItems(rng)
+		_, _, err := p.app.T4(p.anyOrder(rng, i1), p.anyOrder(rng, i2))
+		return err
+	case KindT5:
+		_, err := p.app.T5(p.item(rng))
+		return err
+	case KindNewOrder:
+		_, err := p.app.NewOrderTx(p.item(rng), rng.Int63n(1000), 1)
+		return err
+	case KindBypassRead:
+		i1, i2 := p.twoItems(rng)
+		_, err := p.app.BypassAudit(p.anyOrder(rng, i1), p.anyOrder(rng, i2))
+		return err
+	case KindBypassWrite:
+		return p.bypassWrite(rng)
+	default:
+		return fmt.Errorf("workload: unknown kind %d", int(kind))
+	}
+}
+
+// bypassWrite updates an order's CustomerNo with raw Get/Put — a pure
+// conventional read-modify-write transaction.
+func (p *picker) bypassWrite(rng *rand.Rand) error {
+	ref := p.anyOrder(rng, p.item(rng))
+	order, err := p.app.Order(ref.ItemNo, ref.OrderNo)
+	if err != nil {
+		return err
+	}
+	custAtom, err := p.app.DB.Component(order, orderentry.CompCustomer)
+	if err != nil {
+		return err
+	}
+	tx := p.app.DB.Begin()
+	v, err := tx.Get(custAtom)
+	if err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	if err := tx.Put(custAtom, val.OfInt(v.Int()+1)); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// zipfTable is a precomputed Zipf CDF over ranks 0..n-1.
+type zipfTable struct {
+	cdf []float64
+}
+
+func newZipfTable(n int, s float64) *zipfTable {
+	z := &zipfTable{cdf: make([]float64, n)}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+func (z *zipfTable) pick(rng *rand.Rand) int {
+	x := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

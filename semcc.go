@@ -1,0 +1,162 @@
+// Package semcc is a Go implementation of the semantic concurrency
+// control protocol for object-oriented database systems from
+//
+//	P. Muth, T. C. Rakow, G. Weikum, P. Brössler, C. Hasse:
+//	"Semantic Concurrency Control in Object-Oriented Database
+//	Systems", Proc. 9th IEEE ICDE, 1993.
+//
+// It bundles a small object-oriented database engine (object graph
+// model, slotted-page storage, encapsulated types with user-defined
+// methods) with an open nested transaction manager whose locking
+// protocol exploits method commutativity: compatible method executions
+// on the same object run concurrently, subtransactions commit early
+// with *retained* semantic locks, and the commutative-ancestor
+// conflict test of the paper's Fig. 9 makes the protocol correct even
+// when transactions bypass object encapsulation and access
+// implementation objects directly.
+//
+// # Quick start
+//
+//	db := semcc.Open(semcc.Options{Protocol: semcc.Semantic})
+//	counter, _ := adts.NewCounter(db, 0)   // an encapsulated type
+//
+//	tx := db.Begin()
+//	tx.Call(counter, "Inc", semcc.Int(1))
+//	tx.Commit()
+//
+// See examples/ for complete programs, internal/orderentry for the
+// paper's running example, DESIGN.md for the architecture, and
+// EXPERIMENTS.md for the reproduction of every figure in the paper.
+//
+// The five implemented concurrency control protocols (Semantic,
+// OpenNoRetain, ClosedNested, TwoPLObject, TwoPLPage) are selected via
+// Options.Protocol and run on identical machinery, which is what the
+// benchmark harness compares.
+package semcc
+
+import (
+	"semcc/internal/compat"
+	"semcc/internal/core"
+	"semcc/internal/oid"
+	"semcc/internal/oodb"
+	"semcc/internal/val"
+)
+
+// DB is an object-oriented database instance.
+type DB = oodb.DB
+
+// Tx is a top-level transaction.
+type Tx = oodb.Tx
+
+// Ctx is the execution context passed to method bodies.
+type Ctx = oodb.Ctx
+
+// Type is an encapsulated object type (methods + compatibility
+// matrix).
+type Type = oodb.Type
+
+// Method is a user-defined method of an encapsulated type.
+type Method = oodb.Method
+
+// MethodFunc is a method body.
+type MethodFunc = oodb.MethodFunc
+
+// InverseFunc derives a method execution's compensating invocation.
+type InverseFunc = oodb.InverseFunc
+
+// Options configure Open.
+type Options = oodb.Options
+
+// Open creates an empty database.
+func Open(opts Options) *DB { return oodb.Open(opts) }
+
+// NewType builds an encapsulated type; it validates that every method
+// appears in the matrix.
+func NewType(name string, matrix *Matrix, methods ...*Method) (*Type, error) {
+	return oodb.NewType(name, matrix, methods...)
+}
+
+// Protocol selects a concurrency control protocol.
+type Protocol = core.ProtocolKind
+
+// The implemented protocols. Semantic is the paper's contribution;
+// the others are the baselines it is evaluated against.
+const (
+	// Semantic is the full protocol of the paper's §4.
+	Semantic = core.Semantic
+	// OpenNoRetain is the §3 protocol without retained locks
+	// (incorrect under encapsulation bypass; included to reproduce
+	// the paper's Fig. 5).
+	OpenNoRetain = core.OpenNoRetain
+	// ClosedNested is Moss-style closed nested transactions.
+	ClosedNested = core.ClosedNested
+	// TwoPLObject is strict two-phase read/write locking on objects.
+	TwoPLObject = core.TwoPLObject
+	// TwoPLPage is strict two-phase read/write locking on pages.
+	TwoPLPage = core.TwoPLPage
+)
+
+// Protocols lists all protocols in comparison order.
+func Protocols() []Protocol { return core.Protocols() }
+
+// ErrDeadlock is returned by operations of a transaction chosen as a
+// deadlock victim; abort the transaction and retry it.
+var ErrDeadlock = core.ErrDeadlock
+
+// Stats is a snapshot of engine counters.
+type Stats = core.StatsSnapshot
+
+// OID identifies a database object.
+type OID = oid.OID
+
+// Value is the tagged value union of the object model.
+type Value = val.V
+
+// Event is a status event (member of an Events value).
+type Event = val.Event
+
+// Null is the null Value.
+var Null = val.NullV
+
+// Int builds an integer Value.
+func Int(v int64) Value { return val.OfInt(v) }
+
+// Float builds a float Value.
+func Float(v float64) Value { return val.OfFloat(v) }
+
+// Str builds a string Value.
+func Str(v string) Value { return val.OfStr(v) }
+
+// Bool builds a boolean Value.
+func Bool(v bool) Value { return val.OfBool(v) }
+
+// Ref builds an object-reference Value.
+func Ref(v OID) Value { return val.OfRef(v) }
+
+// Events builds an event-multiset Value.
+func Events(evs ...Event) Value { return val.OfEvents(evs...) }
+
+// Matrix is a commutativity-based compatibility matrix.
+type Matrix = compat.Matrix
+
+// Invocation is a method (or generic operation) applied to an object.
+type Invocation = compat.Invocation
+
+// Rule decides compatibility of two invocations on the same object.
+type Rule = compat.Rule
+
+// NewMatrix creates an empty matrix over the given method universe;
+// absent pairs conflict.
+func NewMatrix(typeName string, methods ...string) *Matrix {
+	return compat.NewMatrix(typeName, methods...)
+}
+
+// Always is the Rule for unconditionally compatible pairs.
+func Always(a, b Invocation) bool { return compat.Always(a, b) }
+
+// Never is the Rule for unconditionally conflicting pairs.
+func Never(a, b Invocation) bool { return compat.Never(a, b) }
+
+// ArgsDiffer returns a Rule that grants compatibility iff the i-th
+// arguments differ (parameter-dependent commutativity).
+func ArgsDiffer(i int) Rule { return compat.ArgsDiffer(i) }

@@ -1,0 +1,159 @@
+package semcc_test
+
+import (
+	"testing"
+
+	"semcc"
+)
+
+// TestPublicAPISchemaDefinition builds a complete encapsulated type
+// through the public façade only.
+func TestPublicAPISchemaDefinition(t *testing.T) {
+	db := semcc.Open(semcc.Options{Protocol: semcc.Semantic})
+
+	m := semcc.NewMatrix("Logbook", "Append", "Count", "Unappend")
+	m.Set("Append", "Append", semcc.Always)
+	m.Set("Unappend", "Append", semcc.Always)
+	m.Set("Unappend", "Unappend", semcc.Always)
+	m.Set("Count", "Count", semcc.Always)
+
+	typ, err := semcc.NewType("Logbook", m,
+		&semcc.Method{
+			Name: "Append",
+			Body: func(ctx *semcc.Ctx, recv semcc.OID, args []semcc.Value) (semcc.Value, error) {
+				entries, err := ctx.Component(recv, "Entries")
+				if err != nil {
+					return semcc.Null, err
+				}
+				seqAtom, err := ctx.Component(recv, "Seq")
+				if err != nil {
+					return semcc.Null, err
+				}
+				seq, err := ctx.Get(seqAtom)
+				if err != nil {
+					return semcc.Null, err
+				}
+				if err := ctx.Put(seqAtom, semcc.Int(seq.Int()+1)); err != nil {
+					return semcc.Null, err
+				}
+				cell, err := ctx.NewAtomic(args[0])
+				if err != nil {
+					return semcc.Null, err
+				}
+				if err := ctx.Insert(entries, semcc.Int(seq.Int()), cell); err != nil {
+					return semcc.Null, err
+				}
+				return semcc.Int(seq.Int()), nil
+			},
+			Inverse: func(inv semcc.Invocation, result semcc.Value) *semcc.Invocation {
+				c := semcc.Invocation{Object: inv.Object, Method: "Unappend", Args: []semcc.Value{result}}
+				return &c
+			},
+		},
+		&semcc.Method{
+			Name: "Unappend",
+			Body: func(ctx *semcc.Ctx, recv semcc.OID, args []semcc.Value) (semcc.Value, error) {
+				entries, err := ctx.Component(recv, "Entries")
+				if err != nil {
+					return semcc.Null, err
+				}
+				return semcc.Null, ctx.Remove(entries, args[0])
+			},
+		},
+		&semcc.Method{
+			Name: "Count", ReadOnly: true,
+			Body: func(ctx *semcc.Ctx, recv semcc.OID, args []semcc.Value) (semcc.Value, error) {
+				entries, err := ctx.Component(recv, "Entries")
+				if err != nil {
+					return semcc.Null, err
+				}
+				es, err := ctx.Scan(entries)
+				if err != nil {
+					return semcc.Null, err
+				}
+				return semcc.Int(int64(len(es))), nil
+			},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterType(typ); err != nil {
+		t.Fatal(err)
+	}
+
+	// Instantiate.
+	store := db.Store()
+	seq, _ := store.NewAtomic(semcc.Int(0))
+	entries, _ := store.NewSet()
+	log, err := store.NewTuple([]string{"Seq", "Entries"}, map[string]semcc.OID{"Seq": seq, "Entries": entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BindInstance(log, "Logbook"); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := db.Begin()
+	if _, err := tx.Call(log, "Append", semcc.Str("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Call(log, "Append", semcc.Str("world")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := tx.Call(log, "Count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Int() != 2 {
+		t.Fatalf("count = %d, want 2", n.Int())
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Abort path exercises the registered inverse.
+	tx = db.Begin()
+	if _, err := tx.Call(log, "Append", semcc.Str("oops")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	tx = db.Begin()
+	n, _ = tx.Call(log, "Count")
+	_ = tx.Commit()
+	if n.Int() != 2 {
+		t.Fatalf("after abort count = %d, want 2", n.Int())
+	}
+
+	if got := db.Engine().Stats(); got.Compensations != 1 {
+		t.Errorf("compensations = %d, want 1", got.Compensations)
+	}
+}
+
+func TestPublicValueConstructors(t *testing.T) {
+	if semcc.Int(5).Int() != 5 || semcc.Str("x").Str() != "x" || !semcc.Bool(true).Bool() {
+		t.Error("constructor mismatch")
+	}
+	if semcc.Float(1.5).Float() != 1.5 {
+		t.Error("float mismatch")
+	}
+	ev := semcc.Events("shipped", "shipped")
+	if ev.EventCount("shipped") != 2 {
+		t.Error("events mismatch")
+	}
+	if !semcc.Null.IsNull() {
+		t.Error("Null is not null")
+	}
+	if len(semcc.Protocols()) != 5 {
+		t.Error("protocol list wrong")
+	}
+	if semcc.ArgsDiffer(0)(semcc.Invocation{Args: []semcc.Value{semcc.Int(1)}},
+		semcc.Invocation{Args: []semcc.Value{semcc.Int(1)}}) {
+		t.Error("ArgsDiffer(same) = true")
+	}
+	if !semcc.Always(semcc.Invocation{}, semcc.Invocation{}) || semcc.Never(semcc.Invocation{}, semcc.Invocation{}) {
+		t.Error("Always/Never wrong")
+	}
+}
