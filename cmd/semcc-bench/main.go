@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	semcc-bench              # all experiments, full parameter sweeps
-//	semcc-bench -exp E1      # one experiment
-//	semcc-bench -quick       # reduced sweeps (used in CI)
+//	semcc-bench                    # all experiments, full parameter sweeps
+//	semcc-bench -exp E1            # one experiment
+//	semcc-bench -quick             # reduced sweeps (used in CI)
+//	semcc-bench -lockmgr=global    # run on the single-mutex lock table
 package main
 
 import (
@@ -15,13 +16,22 @@ import (
 	"fmt"
 	"os"
 
+	"semcc/internal/core"
 	"semcc/internal/harness"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (E1..E6); empty runs all")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
+	lockmgr := flag.String("lockmgr", "striped", "lock table implementation: striped or global")
 	flag.Parse()
+
+	lt, err := core.ParseLockTable(*lockmgr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	harness.SetLockTable(lt)
 
 	var exps []*harness.Experiment
 	if *exp == "" {

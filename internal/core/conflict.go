@@ -24,21 +24,28 @@ package core
 // yields the paper's worst case (wait for top-level commit) exactly
 // when no real commutative pair exists, as in Fig. 5.
 //
-// Caller holds e.mu.
-func (e *Engine) testConflict(h *lock, r *lock) *Tx {
+// Caller holds the shard mutex of the object both locks live on;
+// foreign nodes' states are read atomically (they transition
+// monotonically Active→Committed/Aborted, and every waiter re-runs the
+// test when a waited-on node completes, so a stale Active read only
+// ever causes one extra recheck, never a wrong grant).
+//
+// stripe selects the stats stripe; probe suppresses the counters for
+// non-mutating probes.
+func (m *lockMgr) testConflict(h *lock, r *lock, stripe int, probe bool) *Tx {
 	hOwner, rOwner := h.owner, r.owner
 	if hOwner.root == rOwner.root {
 		return nil
 	}
-	if e.compatible(h.inv, r.inv) {
+	if m.compatible(h.inv, r.inv) {
 		return nil
 	}
-	switch e.kind {
+	switch m.kind {
 	case Semantic:
-		if e.noRelief {
+		if m.noRelief {
 			// Ablation: retained-lock conflicts always wait for the
 			// holder's top-level commit.
-			e.bumpStat(&e.stats.RootWaits)
+			m.bumpStat(stripe, cRootWaits, probe)
 			return hOwner.root
 		}
 		for _, hp := range hOwner.ancestors() {
@@ -46,23 +53,23 @@ func (e *Engine) testConflict(h *lock, r *lock) *Tx {
 				if hp.inv.Object != rp.inv.Object {
 					continue
 				}
-				if !e.compatible(hp.inv, rp.inv) {
+				if !m.compatible(hp.inv, rp.inv) {
 					continue
 				}
-				if hp.state == Committed {
+				if hp.State() == Committed {
 					// Case 1: the conflict is an implementation-level
 					// pseudo-conflict; the committed commutative
 					// ancestor has already made the subtransaction's
 					// effects semantically visible.
-					e.bumpStat(&e.stats.Case1Grants)
+					m.bumpStat(stripe, cCase1Grants, probe)
 					return nil
 				}
 				// Case 2: r may resume as soon as hp commits.
-				e.bumpStat(&e.stats.Case2Waits)
+				m.bumpStat(stripe, cCase2Waits, probe)
 				return hp
 			}
 		}
-		e.bumpStat(&e.stats.RootWaits)
+		m.bumpStat(stripe, cRootWaits, probe)
 		return hOwner.root
 
 	case OpenNoRetain:
@@ -71,7 +78,7 @@ func (e *Engine) testConflict(h *lock, r *lock) *Tx {
 		// uncommitted node (the one whose completion will release the
 		// lock). Wait for the lowest such node.
 		for a := hOwner; a != nil; a = a.parent {
-			if a.state == Active {
+			if a.State() == Active {
 				return a
 			}
 		}
@@ -81,18 +88,16 @@ func (e *Engine) testConflict(h *lock, r *lock) *Tx {
 		// Conventional protocols (closed nested, strict 2PL on
 		// objects or pages): conflicting locks are held until the
 		// holder's top-level commit.
-		e.bumpStat(&e.stats.RootWaits)
+		m.bumpStat(stripe, cRootWaits, probe)
 		return hOwner.root
 	}
 }
 
 // bumpStat increments a stats counter unless a non-mutating probe is
-// in progress. Caller holds e.mu (so e.probing is stable).
-func (e *Engine) bumpStat(counter *uint64) {
-	if e.probing {
+// in progress.
+func (m *lockMgr) bumpStat(stripe int, c statCounter, probe bool) {
+	if probe {
 		return
 	}
-	e.stats.mu.Lock()
-	*counter++
-	e.stats.mu.Unlock()
+	m.stats.bump(stripe, c)
 }

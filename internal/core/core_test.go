@@ -381,14 +381,14 @@ func TestDeadlockDetection(t *testing.T) {
 }
 
 // victimOf returns whichever of the two roots has an aborted child
-// (the deadlock victim).
+// (the deadlock victim). Called after the victim's goroutine has
+// returned, so the tree is quiescent.
 func victimOf(e *Engine, r1, r2 *Tx) *Tx {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	_ = e
 	hasAborted := func(r *Tx) bool {
 		found := false
 		r.eachNode(func(n *Tx) {
-			if n != r && n.state == Aborted {
+			if n != r && n.State() == Aborted {
 				found = true
 			}
 		})

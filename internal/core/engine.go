@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 
 	"semcc/internal/compat"
+	"semcc/internal/core/locktable"
+	"semcc/internal/core/waitgraph"
 	"semcc/internal/history"
 	"semcc/internal/oid"
 )
@@ -55,7 +57,16 @@ type Journal interface {
 // the figure replayer.
 type Hooks struct {
 	// OnBlock fires when a lock request starts waiting, with the
-	// waits-for set. Called without the engine mutex held.
+	// waits-for set.
+	//
+	// Contract (stable under both lock-table implementations): the
+	// callback runs with no lock-table shard mutex and no other
+	// engine lock held, so it may freely call back into the engine
+	// (ProbeConflicts, DumpLocks, Stats). The waits slice is a
+	// consistent snapshot of the blocking object's lock list, computed
+	// atomically under that object's shard mutex just before the
+	// callback; it is owned by the callee and never mutated afterwards
+	// by the engine.
 	OnBlock func(t *Tx, waits []*Tx)
 }
 
@@ -77,6 +88,12 @@ type Config struct {
 	// for the holder's top-level commit. Ablation knob for the
 	// experiments; never enable in production use.
 	NoAncestorRelief bool
+	// LockTable selects the lock-table implementation: striped
+	// (default) or the single-mutex reference table.
+	LockTable LockTableKind
+	// LockShards overrides the striped table's shard count; 0 selects
+	// GOMAXPROCS×8. Ignored by the global table.
+	LockShards int
 	// Journal, when set, receives write-ahead-log records for restart
 	// recovery (see internal/wal).
 	Journal Journal
@@ -91,28 +108,30 @@ type Config struct {
 // top-level commit releasing the tree's locks — plus deadlock
 // detection and compensation-based abort, which the paper presumes but
 // does not specify.
+//
+// Internally the engine is three separable components: the Engine
+// itself (transaction lifecycle, journaling, history recording), the
+// LockManager (lock heads, FCFS queues, conflict tests — sharded by
+// object), and the waits-for graph (internal/core/waitgraph, fed edge
+// events by the lock manager). There is no engine-wide mutex.
 type Engine struct {
-	kind     ProtocolKind
-	table    compat.Table
-	pageOf   func(oid.OID) (oid.OID, error)
-	record   bool
-	noRelief bool
-	journal  Journal
-	hooks    Hooks
+	kind    ProtocolKind
+	table   compat.Table
+	record  bool
+	journal Journal
 
 	// exec runs a compensating invocation as a child of the given
 	// node; installed by the OODB layer (which owns method bodies).
 	exec func(parent *Tx, inv compat.Invocation) error
 
-	mu      sync.Mutex
-	heads   map[oid.OID]*lockHead
-	waiters map[*Tx]bool
-	roots   []*Tx // recorded roots (when record is on)
-	probing bool  // true while ProbeConflicts runs: suppress stats
+	lm    LockManager
+	stats *Stats
 
-	stats Stats
-	seq   atomic.Int64
-	ids   atomic.Uint64
+	recMu sync.Mutex
+	roots []*Tx // recorded roots (when record is on)
+
+	seq atomic.Int64
+	ids atomic.Uint64
 }
 
 // New returns an Engine for the given configuration. Config.Table is
@@ -121,16 +140,31 @@ func New(cfg Config) *Engine {
 	if cfg.Table == nil {
 		panic("core: Config.Table is required")
 	}
-	return &Engine{
+	var tbl locktable.Table[*lock]
+	switch cfg.LockTable {
+	case LockTableGlobal:
+		tbl = locktable.NewGlobal[*lock]()
+	default:
+		tbl = locktable.NewStriped[*lock](cfg.LockShards)
+	}
+	stats := &Stats{}
+	lm := &lockMgr{
 		kind:     cfg.Kind,
 		table:    cfg.Table,
 		pageOf:   cfg.PageOf,
-		record:   cfg.Record,
 		noRelief: cfg.NoAncestorRelief,
-		journal:  cfg.Journal,
 		hooks:    cfg.Hooks,
-		heads:    make(map[oid.OID]*lockHead),
-		waiters:  make(map[*Tx]bool),
+		tbl:      tbl,
+		wfg:      waitgraph.New(),
+		stats:    stats,
+	}
+	return &Engine{
+		kind:    cfg.Kind,
+		table:   cfg.Table,
+		record:  cfg.Record,
+		journal: cfg.Journal,
+		lm:      lm,
+		stats:   stats,
 	}
 }
 
@@ -140,6 +174,9 @@ func (e *Engine) Kind() ProtocolKind { return e.kind }
 // Table returns the compatibility table the engine consults (the
 // serializability checkers reuse it).
 func (e *Engine) Table() compat.Table { return e.table }
+
+// LockManager returns the engine's lock-table component.
+func (e *Engine) LockManager() LockManager { return e.lm }
 
 // SetExec installs the compensation executor. It must be set before
 // any abort can run logical undo.
@@ -155,19 +192,16 @@ func (e *Engine) BeginRoot() *Tx {
 	t := &Tx{
 		id:       e.ids.Add(1),
 		inv:      compat.Inv(oid.DB, compat.OpRoot),
-		state:    Active,
 		done:     make(chan struct{}),
 		beginSeq: e.seq.Add(1),
 	}
 	t.root = t
-	e.mu.Lock()
 	if e.record {
+		e.recMu.Lock()
 		e.roots = append(e.roots, t)
+		e.recMu.Unlock()
 	}
-	e.mu.Unlock()
-	e.stats.mu.Lock()
-	e.stats.RootsStarted++
-	e.stats.mu.Unlock()
+	e.stats.bump(int(t.id), cRootsStarted)
 	if e.journal != nil {
 		e.journal.Append(JournalRecord{Kind: JBeginRoot, Node: t.id})
 	}
@@ -182,10 +216,8 @@ func (e *Engine) BeginChild(parent *Tx, inv compat.Invocation) (*Tx, error) {
 	if parent == nil {
 		return nil, fmt.Errorf("core: BeginChild with nil parent")
 	}
-	e.mu.Lock()
-	if parent.state != Active {
-		e.mu.Unlock()
-		return nil, fmt.Errorf("core: BeginChild on %s parent %s", parent.state, parent)
+	if parent.State() != Active {
+		return nil, fmt.Errorf("core: BeginChild on %s parent %s", parent.State(), parent)
 	}
 	t := &Tx{
 		id:           e.ids.Add(1),
@@ -193,27 +225,23 @@ func (e *Engine) BeginChild(parent *Tx, inv compat.Invocation) (*Tx, error) {
 		parent:       parent,
 		root:         parent.root,
 		depth:        parent.depth + 1,
-		state:        Active,
 		done:         make(chan struct{}),
 		beginSeq:     e.seq.Add(1),
 		compensating: parent.compensating,
 	}
+	parent.root.treeMu.Lock()
 	parent.children = append(parent.children, t)
-	e.mu.Unlock()
-	e.stats.mu.Lock()
-	e.stats.Subtxs++
-	e.stats.mu.Unlock()
+	parent.root.treeMu.Unlock()
+	e.stats.bump(int(t.root.id), cSubtxs)
 
-	lockInv, need := e.lockFor(inv)
+	lockInv, need := e.lm.LockFor(inv)
 	if need {
-		if err := e.acquire(t, lockInv); err != nil {
-			e.mu.Lock()
-			if t.state == Active {
-				t.state = Aborted
+		if err := e.lm.Acquire(t, lockInv); err != nil {
+			if t.State() == Active {
+				t.setState(Aborted)
 				t.endSeq = e.seq.Add(1)
 				close(t.done)
 			}
-			e.mu.Unlock()
 			return t, err
 		}
 	}
@@ -229,16 +257,12 @@ func (e *Engine) BeginChild(parent *Tx, inv compat.Invocation) (*Tx, error) {
 // invocation, or, if the method has none, as the node's own undo list
 // (lower-level compensation fallback).
 func (e *Engine) CompleteChild(t *Tx, inverse *compat.Invocation) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if t.IsRoot() {
 		return fmt.Errorf("core: CompleteChild on root %s", t)
 	}
-	if t.state != Active {
-		return fmt.Errorf("core: CompleteChild on %s node %s", t.state, t)
+	if t.State() != Active {
+		return fmt.Errorf("core: CompleteChild on %s node %s", t.State(), t)
 	}
-	t.state = Committed
-	t.endSeq = e.seq.Add(1)
 
 	// Propagate compensation upward.
 	if inverse != nil {
@@ -248,29 +272,14 @@ func (e *Engine) CompleteChild(t *Tx, inverse *compat.Invocation) error {
 	}
 	t.undo = nil
 
-	// Lock disposition at subcommit.
-	switch e.kind {
-	case Semantic:
-		// Retained: nothing to do — retention is derived from the
-		// owner's Committed state (paper §4.1).
-	case OpenNoRetain:
-		// Paper §3: the locks of the actions *in* the subtransaction
-		// are released at its commit; the subtransaction's own lock is
-		// the "higher-level semantic lock" its parent holds further.
-		for _, c := range t.children {
-			e.releaseOwned(c)
-		}
-	case ClosedNested:
-		// Moss-style lock inheritance: the parent adopts the locks.
-		for _, l := range t.locks {
-			l.owner = t.parent
-			t.parent.locks = append(t.parent.locks, l)
-		}
-		t.locks = nil
-	case TwoPLObject, TwoPLPage:
-		// Strict 2PL: all locks held to top-level end.
-	}
+	// Lock disposition at subcommit, while t is still Active — so no
+	// conflict test ever sees a committed node whose locks are only
+	// half converted (which could send a waiter to sleep on a
+	// long-lived ancestor for a lock that is about to disappear).
+	e.lm.Retain(t)
 
+	t.setState(Committed)
+	t.endSeq = e.seq.Add(1)
 	close(t.done)
 	if e.journal != nil {
 		e.journal.Append(JournalRecord{Kind: JSubCommit, Node: t.id, Inv: inverse, Splice: inverse == nil})
@@ -281,30 +290,31 @@ func (e *Engine) CompleteChild(t *Tx, inverse *compat.Invocation) error {
 // RecordUndo appends a compensating invocation to t's undo list. The
 // OODB layer calls this for leaf writes (inverse Put/Insert/Remove).
 func (e *Engine) RecordUndo(t *Tx, inverse compat.Invocation) {
-	e.mu.Lock()
 	t.undo = append(t.undo, inverse)
-	e.mu.Unlock()
 }
 
 // CommitRoot commits top-level transaction t and releases every lock
 // held by its tree.
 func (e *Engine) CommitRoot(t *Tx) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if !t.IsRoot() {
 		return fmt.Errorf("core: CommitRoot on non-root %s", t)
 	}
-	if t.state != Active {
-		return fmt.Errorf("core: CommitRoot on %s root %s", t.state, t)
+	if t.State() != Active {
+		return fmt.Errorf("core: CommitRoot on %s root %s", t.State(), t)
 	}
-	t.state = Committed
+	t.setState(Committed)
 	t.endSeq = e.seq.Add(1)
 	t.undo = nil
-	e.releaseTree(t)
+	// Release before waking waiters: anyone blocked on this tree
+	// wakes via close(done) below and re-examines a lock list the
+	// tree has already left. (A waiter woken early by another event
+	// may also observe the committed state with locks still present;
+	// the conflict test filters non-Active wait targets, so that too
+	// grants — release order is a wake-up optimisation, not a
+	// correctness requirement.)
+	e.lm.ReleaseTree(t)
 	close(t.done)
-	e.stats.mu.Lock()
-	e.stats.RootsCommitted++
-	e.stats.mu.Unlock()
+	e.stats.bump(int(t.id), cRootsCommitted)
 	if e.journal != nil {
 		e.journal.Append(JournalRecord{Kind: JRootCommit, Node: t.id})
 	}
@@ -330,22 +340,17 @@ func (e *Engine) AbortRoot(t *Tx) error {
 		return fmt.Errorf("core: AbortRoot on non-root %s", t)
 	}
 	err := e.abortNode(t)
-	e.stats.mu.Lock()
-	e.stats.RootsAborted++
-	e.stats.mu.Unlock()
+	e.stats.bump(int(t.id), cRootsAborted)
 	return err
 }
 
 func (e *Engine) abortNode(t *Tx) error {
-	e.mu.Lock()
-	if t.state != Active {
-		e.mu.Unlock()
-		return fmt.Errorf("core: abort of %s node %s", t.state, t)
+	if t.State() != Active {
+		return fmt.Errorf("core: abort of %s node %s", t.State(), t)
 	}
 	undo := t.undo
 	t.undo = nil
 	t.compensating = true
-	e.mu.Unlock()
 	if e.journal != nil {
 		e.journal.Append(JournalRecord{Kind: JAbortStart, Node: t.id})
 	}
@@ -367,21 +372,17 @@ func (e *Engine) abortNode(t *Tx) error {
 		if err == nil && e.journal != nil {
 			e.journal.Append(JournalRecord{Kind: JCompensated, Node: t.id})
 		}
-		e.stats.mu.Lock()
-		e.stats.Compensations++
-		e.stats.mu.Unlock()
+		e.stats.bump(int(t.root.id), cCompensations)
 	}
 
-	e.mu.Lock()
 	t.eachNode(func(n *Tx) {
-		if n.state == Active {
-			n.state = Aborted
+		if n.State() == Active {
+			n.setState(Aborted)
 			n.endSeq = e.seq.Add(1)
 			close(n.done)
 		}
 	})
-	e.releaseTree(t)
-	e.mu.Unlock()
+	e.lm.ReleaseTree(t)
 	if firstErr == nil && e.journal != nil {
 		e.journal.Append(JournalRecord{Kind: JNodeAborted, Node: t.id})
 	}
@@ -393,29 +394,24 @@ func (e *Engine) abortNode(t *Tx) error {
 // face right now. Deterministic figure tests use it to assert exactly
 // which (sub)transactions would block a request (paper Figs. 5–7).
 func (e *Engine) ProbeConflicts(parent *Tx, inv compat.Invocation) []*Tx {
-	lockInv, need := e.lockFor(inv)
-	if !need {
-		return nil
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	probe := &Tx{inv: inv, parent: parent, root: parent.root, state: Active, depth: parent.depth + 1}
-	h := e.head(lockInv.Object)
-	l := &lock{inv: lockInv, owner: probe, head: h}
-	e.probing = true
-	waits := e.waitSetLocked(h, l)
-	e.probing = false
-	return waits
+	return e.lm.Probe(parent, inv)
 }
 
+// DumpLocks renders the lock table for diagnostics, ordered by object.
+func (e *Engine) DumpLocks() string { return e.lm.Dump() }
+
 // Forest returns a snapshot of all recorded transaction trees.
-// History recording must have been enabled in the Config.
+// History recording must have been enabled in the Config. Node
+// timestamps and states are only exact for trees that have completed;
+// the checkers call Forest at quiescence.
 func (e *Engine) Forest() *history.Forest {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.recMu.Lock()
+	defer e.recMu.Unlock()
 	f := &history.Forest{}
 	for _, r := range e.roots {
+		r.treeMu.Lock()
 		f.Roots = append(f.Roots, snapNode(r))
+		r.treeMu.Unlock()
 	}
 	return f
 }
@@ -426,7 +422,7 @@ func snapNode(t *Tx) *history.Node {
 		Inv:       t.inv,
 		Begin:     t.beginSeq,
 		End:       t.endSeq,
-		Committed: t.state == Committed,
+		Committed: t.State() == Committed,
 	}
 	for _, c := range t.children {
 		n.Children = append(n.Children, snapNode(c))

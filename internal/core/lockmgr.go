@@ -1,0 +1,407 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"semcc/internal/compat"
+	"semcc/internal/core/locktable"
+	"semcc/internal/core/waitgraph"
+	"semcc/internal/oid"
+)
+
+// ErrDeadlock is returned by a lock acquisition that would close a
+// cycle in the waits-for graph. The requesting top-level transaction
+// must abort (the engine's caller typically retries it).
+var ErrDeadlock = errors.New("core: deadlock detected, transaction must abort")
+
+// LockManager is the lock-table component of the Engine: lock
+// acquisition with FCFS queueing and deadlock handling, the protocol's
+// lock disposition at subtransaction commit (retention conversion),
+// tree-wide release at top-level end, and non-mutating conflict
+// probes. The Engine owns transaction lifecycle and journaling; the
+// LockManager owns everything that touches lock heads.
+type LockManager interface {
+	// LockFor maps an invocation to the lock the protocol acquires
+	// for it; ok=false when the protocol takes no lock (e.g. method
+	// invocations under the read/write baselines).
+	LockFor(inv compat.Invocation) (compat.Invocation, bool)
+	// Acquire obtains the lock described by lockInv for node t,
+	// blocking until the protocol grants it. It returns ErrDeadlock
+	// if waiting would create a waits-for cycle.
+	Acquire(t *Tx, lockInv compat.Invocation) error
+	// Retain applies the protocol's lock disposition at t's
+	// subcommit: retention (semantic), release of the children's
+	// locks (§3 open nesting), or inheritance by the parent (closed
+	// nesting). Called by CompleteChild before t is marked committed.
+	Retain(t *Tx)
+	// ReleaseTree removes every lock owned by t or any descendant
+	// (top-level commit or abort).
+	ReleaseTree(t *Tx)
+	// Probe computes, without acquiring anything or touching the
+	// statistics, the waits-for set a child of parent invoking inv
+	// would face right now.
+	Probe(parent *Tx, inv compat.Invocation) []*Tx
+	// Dump renders the lock table for diagnostics, ordered by object.
+	Dump() string
+}
+
+// lock is one lock control block: a (possibly translated) invocation
+// mode on an object, owned by a transaction node. A lock is "retained"
+// when its owner has committed but the lock is still held (paper
+// §4.1); retention is derived from the owner's state rather than
+// stored. The owner field is mutated (closed-nested inheritance) and
+// read (conflict tests) only under the owning head's shard mutex; the
+// queued flag is likewise only touched under the shard mutex.
+type lock struct {
+	inv    compat.Invocation
+	owner  *Tx
+	queued bool // still in the wait queue (not granted)
+}
+
+func (l *lock) String() string {
+	tag := ""
+	if l.owner.State() == Committed {
+		tag = " retained"
+	}
+	if l.queued {
+		tag = " queued"
+	}
+	return fmt.Sprintf("%s by %s%s", l.inv, l.owner, tag)
+}
+
+// lockHead is the engine's per-object lock list instantiation.
+type lockHead = locktable.Head[*lock]
+
+// lockMgr implements LockManager over a locktable.Table. The same
+// protocol code runs on both table implementations; only the locking
+// granularity differs (see internal/core/locktable).
+type lockMgr struct {
+	kind     ProtocolKind
+	table    compat.Table
+	pageOf   func(oid.OID) (oid.OID, error)
+	noRelief bool
+	hooks    Hooks
+
+	tbl   locktable.Table[*lock]
+	wfg   *waitgraph.Graph
+	stats *Stats
+}
+
+// waitSet computes the waits-for set of request l: the distinct
+// transaction nodes whose completion l must await, per the protocol's
+// conflict test, considering all granted locks and all queued requests
+// ahead of l (paper Fig. 8: "for all locks h that are held or have
+// been requested on t.object"). Caller holds h's shard mutex, so the
+// returned slice is a consistent snapshot of the object's lock list.
+func (m *lockMgr) waitSet(h *lockHead, l *lock, stripe int, probe bool) []*Tx {
+	var waits []*Tx
+	seen := make(map[*Tx]bool)
+	add := func(b *Tx) {
+		if b != nil && !seen[b] && b.State() == Active {
+			seen[b] = true
+			waits = append(waits, b)
+		}
+	}
+	for _, g := range h.Granted {
+		if g == l {
+			continue
+		}
+		add(m.testConflict(g, l, stripe, probe))
+	}
+	if !l.owner.compensating {
+		// Compensating requests skip the FCFS queue: an aborting
+		// transaction must drain, so it does not line up behind new
+		// work (which may transitively wait on the aborting
+		// transaction's own locks).
+		for _, q := range h.Queue {
+			if q == l {
+				// Only requests queued ahead of l block it.
+				break
+			}
+			add(m.testConflict(q, l, stripe, probe))
+		}
+	}
+	return waits
+}
+
+// Acquire implements the blocking lock acquisition of paper Fig. 8.
+// All head manipulation happens under the object's shard mutex;
+// waits-for edges go to the waitgraph component, whose cycle checks
+// run under its own lock with no shard held; blocking itself waits on
+// the target nodes' done channels, entirely outside any mutex.
+func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
+	obj := lockInv.Object
+	stripe := m.tbl.ShardOf(obj)
+	l := &lock{inv: lockInv, owner: t}
+	m.stats.bump(stripe, cLockRequests)
+
+	first := true
+	var blockedAt time.Time
+	for {
+		var (
+			waits   []*Tx
+			granted bool
+			aborted bool
+		)
+		m.tbl.With(obj, func(h *lockHead) {
+			if t.root.State() == Aborted || t.State() == Aborted {
+				if l.queued {
+					h.RemoveQueued(l)
+					l.queued = false
+				}
+				aborted = true
+				return
+			}
+			waits = m.waitSet(h, l, stripe, false)
+			if len(waits) == 0 {
+				if l.queued {
+					h.RemoveQueued(l)
+					l.queued = false
+				}
+				h.Granted = append(h.Granted, l)
+				granted = true
+				return
+			}
+			if first {
+				h.Queue = append(h.Queue, l)
+				l.queued = true
+			}
+		})
+		if aborted {
+			return fmt.Errorf("core: %s aborted while acquiring %s", t, lockInv)
+		}
+		if granted {
+			t.locks = append(t.locks, l)
+			if first {
+				m.stats.bump(stripe, cImmediateGrants)
+			} else {
+				m.stats.add(stripe, cWaitNanos, uint64(time.Since(blockedAt)))
+			}
+			return nil
+		}
+		if first {
+			first = false
+			blockedAt = time.Now()
+			m.stats.bump(stripe, cBlocks)
+		}
+		// Install the wait edges and look for a cycle — atomically,
+		// under the graph's own lock, with no shard held.
+		// Compensating requests are never victimized: compensation
+		// must complete for the abort to finish, so a cycle through a
+		// compensator is broken by one of its non-compensating
+		// participants (they re-check periodically in waitAll).
+		targets := rootIDs(waits)
+		if t.compensating {
+			m.wfg.Add(t.id, t.root.id, targets)
+		} else if m.wfg.AddAndCheck(t.id, t.root.id, targets) {
+			m.dequeue(l)
+			m.stats.bump(stripe, cDeadlocks)
+			return ErrDeadlock
+		}
+		m.stats.add(stripe, cWaitEvents, uint64(len(waits)))
+		if m.hooks.OnBlock != nil {
+			// Contract: OnBlock runs with no shard mutex (and no
+			// other engine lock) held, and waits is a consistent
+			// snapshot of the object's lock list at block time. See
+			// Hooks.
+			m.hooks.OnBlock(t, waits)
+		}
+		chans := make([]<-chan struct{}, len(waits))
+		for i, w := range waits {
+			chans[i] = w.done
+		}
+		switch m.waitAll(t, chans) {
+		case waitDone:
+		case waitVictim:
+			// A cycle formed while waiting (e.g. a compensating
+			// request joined after us): self-victimize.
+			m.wfg.Clear(t.id)
+			m.dequeue(l)
+			m.stats.bump(stripe, cDeadlocks)
+			return ErrDeadlock
+		case waitForce:
+			// Last-resort for a cycle consisting only of compensating
+			// requests: grant despite the conflict so both aborts can
+			// drain (see waitAll).
+			m.wfg.Clear(t.id)
+			m.tbl.With(obj, func(h *lockHead) {
+				if l.queued {
+					h.RemoveQueued(l)
+					l.queued = false
+				}
+				h.Granted = append(h.Granted, l)
+			})
+			t.locks = append(t.locks, l)
+			m.stats.bump(stripe, cForcedGrants)
+			m.stats.add(stripe, cWaitNanos, uint64(time.Since(blockedAt)))
+			return nil
+		}
+		m.wfg.Clear(t.id)
+	}
+}
+
+// dequeue removes l from its object's wait queue (victimised or
+// aborted requests).
+func (m *lockMgr) dequeue(l *lock) {
+	m.tbl.With(l.inv.Object, func(h *lockHead) {
+		if l.queued {
+			h.RemoveQueued(l)
+			l.queued = false
+		}
+	})
+}
+
+// rootIDs collapses a waits-for set to the ids of the top-level
+// transactions waited on (the waitgraph's edge targets).
+func rootIDs(waits []*Tx) []uint64 {
+	ids := make([]uint64, len(waits))
+	for i, w := range waits {
+		ids[i] = w.root.id
+	}
+	return ids
+}
+
+type waitOutcome int
+
+const (
+	waitDone waitOutcome = iota
+	waitVictim
+	waitForce
+)
+
+// waitAll blocks until every channel is closed, re-running deadlock
+// detection periodically (cycles can form after the edge-install
+// check, because compensating requests install edges without
+// self-victimizing). Non-compensating waiters in a cycle become
+// victims (waitVictim). Compensating waiters are never victimized —
+// compensation must drain for the abort to complete — but if a cycle
+// persists across several rechecks (meaning every participant is
+// compensating, so nobody will self-victimize), the compensator
+// force-grants (waitForce): both aborts proceed despite the formal
+// conflict. With inverse operations whose conflict profile matches
+// their forward operation (DESIGN.md §3.3) and stable object→page
+// mappings, such all-compensator cycles cannot arise under the
+// semantic protocol; the backstop exists for the deliberately
+// incorrect §3 baseline and is counted in Stats.ForcedGrants.
+// Called without any shard mutex held.
+func (m *lockMgr) waitAll(t *Tx, chans []<-chan struct{}) waitOutcome {
+	const recheck = 2 * time.Millisecond
+	timer := time.NewTimer(recheck)
+	defer timer.Stop()
+	cycles := 0
+	for _, ch := range chans {
+		for {
+			select {
+			case <-ch:
+			case <-timer.C:
+				if m.wfg.HasCycle(t.root.id) {
+					if !t.compensating {
+						return waitVictim
+					}
+					cycles++
+					if cycles >= 3 {
+						return waitForce
+					}
+				} else {
+					cycles = 0
+				}
+				timer.Reset(recheck)
+				continue
+			}
+			break
+		}
+	}
+	return waitDone
+}
+
+// Retain applies the protocol's lock disposition at t's subcommit.
+// Called while t is still Active (just before the engine marks it
+// Committed), so conflict tests never observe a half-converted state.
+func (m *lockMgr) Retain(t *Tx) {
+	switch m.kind {
+	case Semantic:
+		// Retained: nothing to do — retention is derived from the
+		// owner's Committed state (paper §4.1).
+	case OpenNoRetain:
+		// Paper §3: the locks of the actions *in* the subtransaction
+		// are released at its commit; the subtransaction's own lock is
+		// the "higher-level semantic lock" its parent holds further.
+		for _, c := range t.children {
+			m.releaseOwned(c)
+		}
+	case ClosedNested:
+		// Moss-style lock inheritance: the parent adopts the locks.
+		// Owner reassignment happens under each lock's shard mutex,
+		// where conflict tests read it.
+		for _, l := range t.locks {
+			l := l
+			m.tbl.With(l.inv.Object, func(*lockHead) {
+				l.owner = t.parent
+			})
+			t.parent.locks = append(t.parent.locks, l)
+		}
+		t.locks = nil
+	case TwoPLObject, TwoPLPage:
+		// Strict 2PL: all locks held to top-level end.
+	}
+}
+
+// releaseOwned removes every granted lock owned by node t (not its
+// descendants).
+func (m *lockMgr) releaseOwned(t *Tx) {
+	for _, l := range t.locks {
+		l := l
+		m.tbl.With(l.inv.Object, func(h *lockHead) {
+			h.RemoveGranted(l)
+		})
+	}
+	t.locks = nil
+}
+
+// ReleaseTree removes every lock owned by t or any descendant.
+func (m *lockMgr) ReleaseTree(t *Tx) {
+	t.eachNode(func(n *Tx) {
+		m.releaseOwned(n)
+	})
+}
+
+// Probe implements non-mutating conflict probing (Engine.ProbeConflicts).
+func (m *lockMgr) Probe(parent *Tx, inv compat.Invocation) []*Tx {
+	lockInv, need := m.LockFor(inv)
+	if !need {
+		return nil
+	}
+	// A throwaway node representing the would-be child; zero state is
+	// Active.
+	probe := &Tx{inv: inv, parent: parent, root: parent.root, depth: parent.depth + 1}
+	l := &lock{inv: lockInv, owner: probe}
+	var waits []*Tx
+	m.tbl.With(lockInv.Object, func(h *lockHead) {
+		waits = m.waitSet(h, l, 0, true)
+	})
+	return waits
+}
+
+// Dump renders the lock table for diagnostics, ordered by object.
+func (m *lockMgr) Dump() string {
+	var lines []string
+	m.tbl.Range(func(h *lockHead) {
+		if len(h.Granted) == 0 && len(h.Queue) == 0 {
+			return
+		}
+		var parts []string
+		for _, g := range h.Granted {
+			parts = append(parts, g.String())
+		}
+		for _, q := range h.Queue {
+			parts = append(parts, q.String())
+		}
+		lines = append(lines, fmt.Sprintf("%s: %s", h.Obj, strings.Join(parts, "; ")))
+	})
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

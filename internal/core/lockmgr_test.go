@@ -1,0 +1,191 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"semcc/internal/compat"
+)
+
+// TestFCFSGrantOrderStress verifies paper §4.2's FCFS rule under many
+// concurrent waiters: requests blocked on the same object are granted
+// in enqueue order, on both lock-table implementations. Run with
+// -race; the test also exercises the cross-tree state reads of the
+// sharded conflict test.
+func TestFCFSGrantOrderStress(t *testing.T) {
+	for _, kind := range LockTables() {
+		t.Run(kind.String(), func(t *testing.T) {
+			const n = 24
+			o := obj()
+
+			// blockedOnce signals the first OnBlock of each root, so
+			// waiters can be launched one at a time and the enqueue
+			// order is deterministic.
+			var (
+				hookMu  sync.Mutex
+				blocked = make(map[uint64]chan struct{})
+			)
+			blockedCh := func(root uint64) chan struct{} {
+				hookMu.Lock()
+				defer hookMu.Unlock()
+				ch, ok := blocked[root]
+				if !ok {
+					ch = make(chan struct{})
+					blocked[root] = ch
+				}
+				return ch
+			}
+			hooks := Hooks{OnBlock: func(b *Tx, waits []*Tx) {
+				ch := blockedCh(b.Root().ID())
+				select {
+				case <-ch:
+					// Re-block of an already-seen root (after a wake-up
+					// that did not grant): already signalled.
+				default:
+					close(ch)
+				}
+			}}
+			e := New(Config{Kind: Semantic, Table: newTestTable(), LockTable: kind, Hooks: hooks})
+			e.SetExec(func(parent *Tx, inv compat.Invocation) error { return nil })
+
+			// Holder: a retained "C" lock ("C" conflicts with itself),
+			// held until r0's top-level commit.
+			r0 := e.BeginRoot()
+			complete(t, e, begin(t, e, r0, compat.Inv(o, "C")))
+
+			var (
+				orderMu sync.Mutex
+				order   []int
+				wg      sync.WaitGroup
+			)
+			roots := make([]*Tx, n)
+			for i := 0; i < n; i++ {
+				i := i
+				r := e.BeginRoot()
+				roots[i] = r
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c, err := e.BeginChild(r, compat.Inv(o, "C"))
+					if err != nil {
+						t.Errorf("waiter %d: %v", i, err)
+						return
+					}
+					orderMu.Lock()
+					order = append(order, i)
+					orderMu.Unlock()
+					if err := e.CompleteChild(c, nil); err != nil {
+						t.Errorf("waiter %d complete: %v", i, err)
+						return
+					}
+					if err := e.CommitRoot(r); err != nil {
+						t.Errorf("waiter %d commit: %v", i, err)
+					}
+				}()
+				// Wait until waiter i is enqueued before launching i+1.
+				<-blockedCh(r.ID())
+			}
+
+			if err := e.CommitRoot(r0); err != nil {
+				t.Fatal(err)
+			}
+			wg.Wait()
+
+			if len(order) != n {
+				t.Fatalf("granted %d waiters, want %d", len(order), n)
+			}
+			for i, got := range order {
+				if got != i {
+					t.Fatalf("grant order = %v, want enqueue order 0..%d", order, n-1)
+				}
+			}
+			st := e.Stats()
+			if st.Deadlocks != 0 {
+				t.Errorf("Deadlocks = %d, want 0", st.Deadlocks)
+			}
+			if st.Blocks < n {
+				t.Errorf("Blocks = %d, want >= %d", st.Blocks, n)
+			}
+		})
+	}
+}
+
+// TestOnBlockContract pins the Hooks.OnBlock contract: the callback
+// runs with no lock-table shard mutex held — re-entering the engine
+// (ProbeConflicts on the same object, DumpLocks) from inside the hook
+// must not self-deadlock — and the waits argument is the consistent
+// waits-for snapshot of the blocking request.
+func TestOnBlockContract(t *testing.T) {
+	for _, kind := range LockTables() {
+		t.Run(kind.String(), func(t *testing.T) {
+			o := obj()
+			var (
+				e       *Engine
+				probeR  *Tx
+				hookMu  sync.Mutex
+				waitsIn []*Tx
+				dumpIn  string
+				probeIn []*Tx
+				fired   = make(chan struct{})
+			)
+			hooks := Hooks{OnBlock: func(b *Tx, waits []*Tx) {
+				hookMu.Lock()
+				defer hookMu.Unlock()
+				if waitsIn != nil {
+					return // only record the first episode
+				}
+				waitsIn = append([]*Tx{}, waits...)
+				// Both calls below take the blocking object's shard
+				// mutex; they would self-deadlock if OnBlock ran under
+				// it.
+				dumpIn = e.DumpLocks()
+				probeIn = e.ProbeConflicts(probeR, compat.Inv(o, "C"))
+				close(fired)
+			}}
+			e = New(Config{Kind: Semantic, Table: newTestTable(), LockTable: kind, Hooks: hooks})
+			e.SetExec(func(parent *Tx, inv compat.Invocation) error { return nil })
+			probeR = e.BeginRoot()
+
+			r1 := e.BeginRoot()
+			complete(t, e, begin(t, e, r1, compat.Inv(o, "C")))
+
+			r2 := e.BeginRoot()
+			done := make(chan *Tx, 1)
+			go func() {
+				c, err := e.BeginChild(r2, compat.Inv(o, "C"))
+				if err != nil {
+					t.Errorf("BeginChild: %v", err)
+				}
+				done <- c
+			}()
+			<-fired
+			if err := e.CommitRoot(r1); err != nil {
+				t.Fatal(err)
+			}
+			c := <-done
+			complete(t, e, c)
+			if err := e.CommitRoot(r2); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.CommitRoot(probeR); err != nil {
+				t.Fatal(err)
+			}
+
+			hookMu.Lock()
+			defer hookMu.Unlock()
+			if len(waitsIn) != 1 || waitsIn[0] != r1 {
+				t.Errorf("OnBlock waits = %v, want [%s]", waitsIn, r1)
+			}
+			if !strings.Contains(dumpIn, "retained") {
+				t.Errorf("DumpLocks inside OnBlock = %q, want the retained holder visible", dumpIn)
+			}
+			// The probe from inside the hook sees the retained holder
+			// plus the already-queued blocked request ahead of it
+			// (Fig. 8 considers queued requests too).
+			if len(probeIn) != 2 || probeIn[0] != r1 || probeIn[1] != r2 {
+				t.Errorf("ProbeConflicts inside OnBlock = %v, want [%s %s]", probeIn, r1, r2)
+			}
+		})
+	}
+}

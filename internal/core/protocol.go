@@ -66,17 +66,17 @@ func (p ProtocolKind) IsSemanticFamily() bool {
 	return p == Semantic || p == OpenNoRetain
 }
 
-// lockFor maps an invocation to the lock the protocol acquires for it.
+// LockFor maps an invocation to the lock the protocol acquires for it.
 // It returns ok=false when the protocol takes no lock for this
 // invocation (e.g. method invocations under the read/write baselines).
 // pageOf translates an atomic object to its page for TwoPLPage; it is
 // only consulted for atoms.
-func (e *Engine) lockFor(inv compat.Invocation) (compat.Invocation, bool) {
+func (m *lockMgr) LockFor(inv compat.Invocation) (compat.Invocation, bool) {
 	if inv.Method == compat.OpRoot {
 		// Roots hold no lock; they only anchor the tree.
 		return compat.Invocation{}, false
 	}
-	switch e.kind {
+	switch m.kind {
 	case Semantic, OpenNoRetain:
 		// Semantic lock in the invocation's own mode, on the receiver.
 		return inv, true
@@ -87,8 +87,8 @@ func (e *Engine) lockFor(inv compat.Invocation) (compat.Invocation, bool) {
 			return compat.Invocation{}, false
 		}
 		target := inv.Object
-		if e.kind == TwoPLPage && target.K == oid.Atomic && e.pageOf != nil {
-			if pg, err := e.pageOf(target); err == nil {
+		if m.kind == TwoPLPage && target.K == oid.Atomic && m.pageOf != nil {
+			if pg, err := m.pageOf(target); err == nil {
 				target = pg
 			}
 		}
@@ -104,10 +104,53 @@ func (e *Engine) lockFor(inv compat.Invocation) (compat.Invocation, bool) {
 	}
 }
 
-// compatible consults the engine's compatibility table for two lock
+// compatible consults the compatibility table for two lock
 // invocations on the same object. Under the read/write baselines lock
 // modes are already collapsed to Get/Put, which the generic matrix
 // handles.
-func (e *Engine) compatible(a, b compat.Invocation) bool {
-	return e.table.Compatible(a, b)
+func (m *lockMgr) compatible(a, b compat.Invocation) bool {
+	return m.table.Compatible(a, b)
+}
+
+// LockTableKind selects the lock-table implementation backing the
+// LockManager (see internal/core/locktable).
+type LockTableKind uint8
+
+const (
+	// LockTableStriped shards the lock table over independently
+	// locked shards (GOMAXPROCS×8 by default), so lock traffic on
+	// non-conflicting objects never contends. The default.
+	LockTableStriped LockTableKind = iota
+	// LockTableGlobal guards the whole lock table with a single
+	// mutex — the pre-sharding reference implementation, kept as an
+	// ablation baseline for the benchmarks.
+	LockTableGlobal
+)
+
+// String returns the kind's short name used in flags and benchmarks.
+func (k LockTableKind) String() string {
+	switch k {
+	case LockTableGlobal:
+		return "global"
+	default:
+		return "striped"
+	}
+}
+
+// ParseLockTable parses a -lockmgr style flag value.
+func ParseLockTable(s string) (LockTableKind, error) {
+	switch s {
+	case "striped", "":
+		return LockTableStriped, nil
+	case "global":
+		return LockTableGlobal, nil
+	default:
+		return 0, fmt.Errorf("core: unknown lock table %q (want striped or global)", s)
+	}
+}
+
+// LockTables lists both lock-table implementations in comparison
+// order (benchmarks report both).
+func LockTables() []LockTableKind {
+	return []LockTableKind{LockTableStriped, LockTableGlobal}
 }

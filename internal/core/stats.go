@@ -1,0 +1,102 @@
+package core
+
+import "sync/atomic"
+
+// statCounter indexes one engine counter within a stats stripe.
+type statCounter int
+
+const (
+	cRootsStarted statCounter = iota
+	cRootsCommitted
+	cRootsAborted
+	cSubtxs
+	cLockRequests
+	cImmediateGrants
+	cBlocks
+	cWaitEvents
+	cCase1Grants
+	cCase2Waits
+	cRootWaits
+	cDeadlocks
+	cCompensations
+	cForcedGrants
+	cWaitNanos
+	numStatCounters
+)
+
+// statStripes is the number of independent counter blocks; a power of
+// two so stripe selection is a mask. Lock-path events use the shard
+// index of the object being locked, transaction-level events the root
+// id, so concurrent updates land on different stripes with high
+// probability.
+const statStripes = 64
+
+// statStripe is one cache-padded block of counters. 15 counters × 8
+// bytes = 120; the pad rounds the stripe to two full cache lines so
+// neighbouring stripes never false-share.
+type statStripe struct {
+	c [numStatCounters]atomic.Uint64
+	_ [8]byte
+}
+
+// Stats aggregates engine-level concurrency-control counters. All
+// counters are monotone. Updates go to per-stripe atomics (no mutex
+// anywhere on the hot path); Snapshot aggregates the stripes on read.
+// A snapshot taken while transactions run is therefore monotone per
+// counter but not a single consistent cut across counters — the
+// experiment harness and tests read it at quiescence, where it is
+// exact.
+type Stats struct {
+	stripes [statStripes]statStripe
+}
+
+func (s *Stats) add(stripe int, c statCounter, n uint64) {
+	s.stripes[uint(stripe)&(statStripes-1)].c[c].Add(n)
+}
+
+func (s *Stats) bump(stripe int, c statCounter) { s.add(stripe, c, 1) }
+
+// StatsSnapshot is a copyable view of Stats.
+type StatsSnapshot struct {
+	RootsStarted   uint64 // top-level transactions begun
+	RootsCommitted uint64
+	RootsAborted   uint64
+	Subtxs         uint64 // subtransactions (non-root nodes) begun
+
+	LockRequests    uint64 // lock acquisitions attempted
+	ImmediateGrants uint64 // granted without waiting
+	Blocks          uint64 // requests that had to wait at least once
+	WaitEvents      uint64 // individual waits-for targets waited on
+
+	Case1Grants uint64 // pseudo-conflicts ignored: committed commutative ancestor (paper Fig. 6)
+	Case2Waits  uint64 // waits for a commutative ancestor's subcommit (paper Fig. 7)
+	RootWaits   uint64 // worst case: waits for a top-level commit
+
+	Deadlocks     uint64 // deadlock victims
+	Compensations uint64 // inverse invocations executed during aborts
+	ForcedGrants  uint64 // compensation force-grants (all-compensator cycles)
+
+	// WaitNanos accumulates wall-clock time lock requests spent
+	// blocked (summed over requests).
+	WaitNanos uint64
+}
+
+// Snapshot aggregates the stripes into a copyable view.
+func (s *Stats) Snapshot() StatsSnapshot {
+	var tot [numStatCounters]uint64
+	for i := range s.stripes {
+		for j := statCounter(0); j < numStatCounters; j++ {
+			tot[j] += s.stripes[i].c[j].Load()
+		}
+	}
+	return StatsSnapshot{
+		RootsStarted: tot[cRootsStarted], RootsCommitted: tot[cRootsCommitted],
+		RootsAborted: tot[cRootsAborted], Subtxs: tot[cSubtxs],
+		LockRequests: tot[cLockRequests], ImmediateGrants: tot[cImmediateGrants],
+		Blocks: tot[cBlocks], WaitEvents: tot[cWaitEvents],
+		Case1Grants: tot[cCase1Grants], Case2Waits: tot[cCase2Waits],
+		RootWaits: tot[cRootWaits], Deadlocks: tot[cDeadlocks],
+		Compensations: tot[cCompensations], ForcedGrants: tot[cForcedGrants],
+		WaitNanos: tot[cWaitNanos],
+	}
+}

@@ -11,11 +11,23 @@
 // semantic lock on its receiver before executing. When a node
 // completes, its locks are retained (owner marked committed) rather
 // than released; all locks are dropped at top-level commit or abort.
+//
+// # Concurrency contract
+//
+// A transaction tree is driven by one goroutine at a time (the oodb
+// layer's Tx documents the same rule); different trees run fully
+// concurrently. Tree-local state (children, locks, undo) is therefore
+// written only by the owning goroutine. The fields foreign trees read
+// during conflict testing — a node's lifecycle state and its
+// immutable identity (invocation, parent/root links, depth) — are
+// either immutable after creation or accessed atomically, so the
+// sharded lock manager never needs an engine-wide mutex.
 package core
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"semcc/internal/compat"
 )
@@ -47,7 +59,7 @@ func (s State) String() string {
 // Tx is one node of an open nested transaction tree: the root
 // (top-level transaction) or a subtransaction created by a method
 // invocation. Tx values are created and completed only through the
-// Engine; fields are guarded by the Engine's mutex.
+// Engine.
 type Tx struct {
 	id     uint64
 	inv    compat.Invocation
@@ -55,32 +67,45 @@ type Tx struct {
 	root   *Tx
 	depth  int
 
-	state    State
-	done     chan struct{} // closed when state leaves Active
+	// state holds a State value; atomic because conflict tests read
+	// foreign nodes' states while their trees transition them.
+	state atomic.Uint32
+	done  chan struct{} // closed when state leaves Active
+
+	// children is written by the tree's driving goroutine under the
+	// root's treeMu; Forest snapshots read it under the same mutex.
 	children []*Tx
 
+	// treeMu (used on roots only) guards children appends against
+	// concurrent Forest snapshots. Within a tree it is uncontended:
+	// one goroutine drives the tree.
+	treeMu sync.Mutex
+
 	// locks acquired by this node (usually exactly one: the semantic
-	// lock on inv.Object; baselines may take zero).
+	// lock on inv.Object; baselines may take zero). Tree-local.
 	locks []*lock
 
 	// undo is the compensation log: inverse invocations for this
 	// node's committed children (and physical-equivalent inverses for
 	// its leaf writes), in forward order. Applied in reverse on abort.
+	// Tree-local.
 	undo []compat.Invocation
 
 	// beginSeq/endSeq are logical timestamps for history recording.
 	beginSeq, endSeq int64
 
-	// waitingFor is the set of nodes this node currently blocks on;
-	// maintained for deadlock detection and diagnostics.
-	waitingFor []*Tx
-
 	// compensating marks nodes executing compensation during an
 	// abort. Compensating requests skip FCFS queueing and are never
 	// chosen as deadlock victims: open nested transactions cannot
 	// abort without compensation, so compensation must drain.
+	// Tree-local (only ever read on the owning tree's paths).
 	compensating bool
 }
+
+// State returns the node's lifecycle state.
+func (t *Tx) State() State { return State(t.state.Load()) }
+
+func (t *Tx) setState(s State) { t.state.Store(uint32(s)) }
 
 // ID returns the node's unique id.
 func (t *Tx) ID() uint64 { return t.id }
@@ -133,58 +158,5 @@ func (t *Tx) eachNode(f func(*Tx)) {
 	f(t)
 	for _, c := range t.children {
 		c.eachNode(f)
-	}
-}
-
-// Stats aggregates engine-level concurrency-control counters. All
-// counters are monotone; Snapshot returns a consistent copy.
-type Stats struct {
-	mu sync.Mutex
-
-	RootsStarted   uint64 // top-level transactions begun
-	RootsCommitted uint64
-	RootsAborted   uint64
-	Subtxs         uint64 // subtransactions (non-root nodes) begun
-
-	LockRequests    uint64 // lock acquisitions attempted
-	ImmediateGrants uint64 // granted without waiting
-	Blocks          uint64 // requests that had to wait at least once
-	WaitEvents      uint64 // individual waits-for targets waited on
-
-	Case1Grants uint64 // pseudo-conflicts ignored: committed commutative ancestor (paper Fig. 6)
-	Case2Waits  uint64 // waits for a commutative ancestor's subcommit (paper Fig. 7)
-	RootWaits   uint64 // worst case: waits for a top-level commit
-
-	Deadlocks     uint64 // deadlock victims
-	Compensations uint64 // inverse invocations executed during aborts
-	ForcedGrants  uint64 // compensation force-grants (all-compensator cycles)
-
-	// WaitNanos accumulates wall-clock time lock requests spent
-	// blocked (summed over requests).
-	WaitNanos uint64
-}
-
-// StatsSnapshot is a copyable view of Stats.
-type StatsSnapshot struct {
-	RootsStarted, RootsCommitted, RootsAborted, Subtxs uint64
-	LockRequests, ImmediateGrants, Blocks, WaitEvents  uint64
-	Case1Grants, Case2Waits, RootWaits                 uint64
-	Deadlocks, Compensations, ForcedGrants             uint64
-	WaitNanos                                          uint64
-}
-
-// Snapshot returns a consistent copy of the counters.
-func (s *Stats) Snapshot() StatsSnapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return StatsSnapshot{
-		RootsStarted: s.RootsStarted, RootsCommitted: s.RootsCommitted,
-		RootsAborted: s.RootsAborted, Subtxs: s.Subtxs,
-		LockRequests: s.LockRequests, ImmediateGrants: s.ImmediateGrants,
-		Blocks: s.Blocks, WaitEvents: s.WaitEvents,
-		Case1Grants: s.Case1Grants, Case2Waits: s.Case2Waits,
-		RootWaits: s.RootWaits, Deadlocks: s.Deadlocks,
-		Compensations: s.Compensations, ForcedGrants: s.ForcedGrants,
-		WaitNanos: s.WaitNanos,
 	}
 }

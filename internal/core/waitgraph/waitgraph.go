@@ -1,0 +1,123 @@
+// Package waitgraph maintains the engine's waits-for graph for
+// deadlock detection, as a component separate from the lock tables:
+// lock shards feed it edge add/remove events, and cycle checks run
+// under the graph's own lock — never while any lock-table shard is
+// held.
+//
+// Nodes are transaction-node ids; for cycle checks every edge is
+// collapsed to the waiter's and target's top-level (root) transaction
+// ids. Collapsing is exact for sequentially executing transaction
+// trees: if a subtransaction has not completed, its tree's current
+// execution point is inside it, so waiting for the subtransaction is
+// waiting for its root's progress.
+package waitgraph
+
+import "sync"
+
+// Graph is a waits-for graph. It is safe for concurrent use; all
+// methods are linearisable with respect to each other.
+type Graph struct {
+	mu    sync.RWMutex
+	waits map[uint64]entry // waiting node id → its root and targets
+}
+
+type entry struct {
+	root    uint64
+	targets []uint64 // root ids of the nodes waited for
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{waits: make(map[uint64]entry)}
+}
+
+// Add installs (or replaces) node's wait edges: node, belonging to
+// top-level transaction root, waits for the given target roots. Used
+// by compensating requests, which install edges without
+// self-victimising.
+func (g *Graph) Add(node, root uint64, targets []uint64) {
+	g.mu.Lock()
+	g.waits[node] = entry{root: root, targets: targets}
+	g.mu.Unlock()
+}
+
+// AddAndCheck installs node's wait edges and reports whether they
+// close a cycle through root. When they do, the edges are removed
+// again before returning — the caller is about to self-victimise, and
+// removing them atomically with the check keeps the transient cycle
+// invisible to concurrent checkers (so exactly one waiter of a
+// two-party deadlock is victimised, as under the old engine-global
+// mutex).
+func (g *Graph) AddAndCheck(node, root uint64, targets []uint64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.waits[node] = entry{root: root, targets: targets}
+	if g.cycleThrough(root) {
+		delete(g.waits, node)
+		return true
+	}
+	return false
+}
+
+// Clear removes node's wait edges (the wait ended: granted, aborted,
+// or victimised).
+func (g *Graph) Clear(node uint64) {
+	g.mu.Lock()
+	delete(g.waits, node)
+	g.mu.Unlock()
+}
+
+// HasCycle reports whether the graph currently contains a cycle
+// through the given root. Waiters re-run this periodically while
+// blocked, because cycles can form after their edges were installed
+// (e.g. a compensating request joining the wait later).
+func (g *Graph) HasCycle(root uint64) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.cycleThrough(root)
+}
+
+// Waiters returns the number of nodes currently waiting (diagnostics).
+func (g *Graph) Waiters() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.waits)
+}
+
+// cycleThrough runs a DFS over the root-collapsed adjacency looking
+// for a path from start back to start. Self-edges are skipped: two
+// nodes of the same tree never block each other (same root ⇒ no
+// conflict), so a self-edge can only come from a probe and must not
+// count as a deadlock. Caller holds g.mu (read or write).
+func (g *Graph) cycleThrough(start uint64) bool {
+	adj := make(map[uint64][]uint64, len(g.waits))
+	for _, e := range g.waits {
+		adj[e.root] = append(adj[e.root], e.targets...)
+	}
+	visited := make(map[uint64]bool)
+	var dfs func(r uint64) bool
+	dfs = func(r uint64) bool {
+		if visited[r] {
+			return false
+		}
+		visited[r] = true
+		for _, next := range adj[r] {
+			if next == start {
+				return true
+			}
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, next := range adj[start] {
+		if next == start {
+			continue
+		}
+		if dfs(next) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+package waitgraph
+
+import (
+	"sync"
+	"testing"
+)
+
+// Node ids and root ids: tests use small integers; a node n of root r
+// is written n(r) in comments.
+
+func TestNoCycle(t *testing.T) {
+	g := New()
+	// 1(10) → 20, 2(20) → 30: a chain, no cycle anywhere.
+	g.Add(1, 10, []uint64{20})
+	g.Add(2, 20, []uint64{30})
+	for _, r := range []uint64{10, 20, 30} {
+		if g.HasCycle(r) {
+			t.Errorf("HasCycle(%d) = true on a chain", r)
+		}
+	}
+	if g.Waiters() != 2 {
+		t.Errorf("waiters = %d, want 2", g.Waiters())
+	}
+}
+
+func TestTwoPartyCycle(t *testing.T) {
+	g := New()
+	g.Add(1, 10, []uint64{20})
+	// 2(20) → 10 closes the cycle; AddAndCheck must report it and
+	// roll the edges back.
+	if !g.AddAndCheck(2, 20, []uint64{10}) {
+		t.Fatal("AddAndCheck missed a two-party cycle")
+	}
+	if g.Waiters() != 1 {
+		t.Errorf("victim's edges not rolled back: waiters = %d, want 1", g.Waiters())
+	}
+	if g.HasCycle(10) || g.HasCycle(20) {
+		t.Error("cycle still visible after rollback")
+	}
+}
+
+func TestLongCycleAcrossNodes(t *testing.T) {
+	g := New()
+	// Three trees, each with one waiting node: 10 → 20 → 30 → 10.
+	g.Add(1, 10, []uint64{20})
+	g.Add(2, 20, []uint64{30})
+	g.Add(3, 30, []uint64{10})
+	for _, r := range []uint64{10, 20, 30} {
+		if !g.HasCycle(r) {
+			t.Errorf("HasCycle(%d) = false on a 3-cycle", r)
+		}
+	}
+	// Breaking any edge dissolves the cycle.
+	g.Clear(2)
+	for _, r := range []uint64{10, 20, 30} {
+		if g.HasCycle(r) {
+			t.Errorf("HasCycle(%d) = true after edge removed", r)
+		}
+	}
+}
+
+func TestSelfEdgeIgnored(t *testing.T) {
+	g := New()
+	// A probe-style self-edge (node of root 10 "waiting" for root 10)
+	// must never count as a deadlock.
+	if g.AddAndCheck(1, 10, []uint64{10}) {
+		t.Fatal("self-edge reported as cycle")
+	}
+	if g.HasCycle(10) {
+		t.Fatal("HasCycle sees self-edge cycle")
+	}
+}
+
+func TestMultipleNodesSameRoot(t *testing.T) {
+	g := New()
+	// Two waiting nodes of the same tree (root 10): edges from both
+	// must be collapsed into root 10's adjacency.
+	g.Add(1, 10, []uint64{20})
+	g.Add(2, 10, []uint64{30})
+	g.Add(3, 30, []uint64{10})
+	if !g.HasCycle(10) {
+		t.Fatal("cycle via second node of the same root missed")
+	}
+	g.Clear(2)
+	if g.HasCycle(10) {
+		t.Fatal("cycle persists after its edge was cleared")
+	}
+}
+
+func TestReplaceEdges(t *testing.T) {
+	g := New()
+	g.Add(1, 10, []uint64{20})
+	// Re-adding the same node replaces its targets.
+	g.Add(1, 10, []uint64{30})
+	g.Add(2, 20, []uint64{10})
+	if g.HasCycle(10) {
+		t.Fatal("stale targets survived Add replacement")
+	}
+	g.Add(3, 30, []uint64{10})
+	if !g.HasCycle(10) {
+		t.Fatal("new targets not installed")
+	}
+}
+
+// TestConcurrentChurn hammers the graph with edge adds, removals, and
+// cycle checks from many goroutines; run with -race. The assertion is
+// structural (no crash, no race, quiescent graph is empty) — the
+// interleavings themselves are the test.
+func TestConcurrentChurn(t *testing.T) {
+	g := New()
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := uint64(w + 1)
+			root := uint64(100 + w)
+			next := uint64(100 + (w+1)%workers)
+			for i := 0; i < iters; i++ {
+				if g.AddAndCheck(node, root, []uint64{next}) {
+					continue // victimised: edges already rolled back
+				}
+				g.HasCycle(root)
+				g.Clear(node)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Waiters(); got != 0 {
+		t.Fatalf("waiters after churn = %d, want 0", got)
+	}
+	for w := 0; w < workers; w++ {
+		if g.HasCycle(uint64(100 + w)) {
+			t.Fatalf("cycle in empty graph")
+		}
+	}
+}

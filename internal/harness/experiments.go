@@ -15,9 +15,19 @@ var perfProtocols = []core.ProtocolKind{
 	core.Semantic, core.OpenNoRetain, core.ClosedNested, core.TwoPLObject, core.TwoPLPage,
 }
 
+// lockTable is the lock-table implementation every experiment point
+// runs with; semcc-bench's -lockmgr flag overrides it.
+var lockTable = core.LockTableStriped
+
+// SetLockTable selects the lock-table implementation for subsequent
+// experiment runs (ablation: compare striped against the global-mutex
+// reference table).
+func SetLockTable(k core.LockTableKind) { lockTable = k }
+
 // runPoint executes one workload configuration and renders its row.
 func runPoint(cfg workload.Config) (workload.Metrics, error) {
 	cfg.Validate = true
+	cfg.LockTable = lockTable
 	return workload.Run(cfg)
 }
 

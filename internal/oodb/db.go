@@ -24,6 +24,12 @@ type Options struct {
 	// NoAncestorRelief forwards the experiments' ablation knob: it
 	// disables the Fig. 9 commutative-ancestor cases in the engine.
 	NoAncestorRelief bool
+	// LockTable selects the engine's lock-table implementation
+	// (striped by default; global single-mutex for ablation).
+	LockTable core.LockTableKind
+	// LockShards overrides the striped lock table's shard count
+	// (0 = GOMAXPROCS×8).
+	LockShards int
 	// Journal, when set, receives write-ahead-log records for restart
 	// recovery (internal/wal).
 	Journal core.Journal
@@ -56,6 +62,8 @@ func Open(opts Options) *DB {
 		PageOf:           db.store.PageOf,
 		Record:           opts.Record,
 		NoAncestorRelief: opts.NoAncestorRelief,
+		LockTable:        opts.LockTable,
+		LockShards:       opts.LockShards,
 		Journal:          opts.Journal,
 		Hooks:            opts.Hooks,
 	})
@@ -83,6 +91,8 @@ func Reopen(old *DB, opts Options) *DB {
 		PageOf:           db.store.PageOf,
 		Record:           opts.Record,
 		NoAncestorRelief: opts.NoAncestorRelief,
+		LockTable:        opts.LockTable,
+		LockShards:       opts.LockShards,
 		Journal:          opts.Journal,
 		Hooks:            opts.Hooks,
 	})

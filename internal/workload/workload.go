@@ -96,6 +96,9 @@ type Config struct {
 	Protocol core.ProtocolKind
 	// NoAncestorRelief forwards the E5 ablation knob to the engine.
 	NoAncestorRelief bool
+	// LockTable selects the engine's lock-table implementation
+	// (striped by default).
+	LockTable core.LockTableKind
 	// Items is the number of items; contention falls as it grows.
 	Items int
 	// OrdersPerItem sizes each item's pre-created order pool. It must
@@ -170,6 +173,7 @@ func Run(cfg Config) (Metrics, error) {
 	db := oodb.Open(oodb.Options{
 		Protocol:         cfg.Protocol,
 		NoAncestorRelief: cfg.NoAncestorRelief,
+		LockTable:        cfg.LockTable,
 	})
 	app, err := orderentry.Setup(db, orderentry.Config{
 		Items:         cfg.Items,

@@ -99,6 +99,24 @@ const (
 // Protocols lists all protocols in comparison order.
 func Protocols() []Protocol { return core.Protocols() }
 
+// LockTableKind selects the engine's lock-table implementation (see
+// Options.LockTable).
+type LockTableKind = core.LockTableKind
+
+// The implemented lock tables. Striped is the default; Global is the
+// single-mutex reference table kept as an ablation baseline.
+const (
+	// LockTableStriped shards lock heads over independently locked
+	// shards so disjoint-object traffic never contends.
+	LockTableStriped = core.LockTableStriped
+	// LockTableGlobal serialises all lock-table accesses on one mutex.
+	LockTableGlobal = core.LockTableGlobal
+)
+
+// LockTables lists both lock-table implementations in comparison
+// order.
+func LockTables() []LockTableKind { return core.LockTables() }
+
 // ErrDeadlock is returned by operations of a transaction chosen as a
 // deadlock victim; abort the transaction and retry it.
 var ErrDeadlock = core.ErrDeadlock
