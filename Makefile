@@ -2,10 +2,13 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench
+.PHONY: check build test race vet bench fuzz-regress race-recovery fuzz
 
-# The full gate: what CI (and every PR) must pass.
-check: vet build race
+# The full gate: what CI (and every PR) must pass. `race` runs the
+# whole suite (including the recovery and crash-point tests) under the
+# race detector; fuzz-regress replays the checked-in fuzz seed corpus
+# in regression mode (no fuzzing engine, just the corpus).
+check: vet build race fuzz-regress
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +21,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused, -short-gated race run of the journaling/recovery surface —
+# the quick iteration loop when touching engine commit/abort paths or
+# the WAL (the full `race` target covers the same tests exhaustively).
+race-recovery:
+	$(GO) test -race -short -run 'Journal|Recovery|Crash|Unmarshal|Analyze' ./internal/core ./internal/wal
+
+# Replay the checked-in seed corpus (testdata/fuzz) without fuzzing.
+fuzz-regress:
+	$(GO) test -run 'Fuzz|TestUnmarshalSeedCorpus' ./internal/wal
+
+# Actually fuzz for a short while (not part of check).
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/wal
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

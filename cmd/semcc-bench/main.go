@@ -9,6 +9,11 @@
 //	semcc-bench -exp E1            # one experiment
 //	semcc-bench -quick             # reduced sweeps (used in CI)
 //	semcc-bench -lockmgr=global    # run on the single-mutex lock table
+//	semcc-bench -hot               # contention profile per protocol:
+//	                               # top-K hottest objects + per-case
+//	                               # wait-time histograms + case mix
+//	semcc-bench -hot -trace 20     # ... plus the last 20 trace events
+//	semcc-bench -hot -json         # ... as an expvar-style JSON snapshot
 package main
 
 import (
@@ -17,13 +22,21 @@ import (
 	"os"
 
 	"semcc/internal/core"
+	"semcc/internal/core/trace"
 	"semcc/internal/harness"
+	"semcc/internal/workload"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (E1..E6); empty runs all")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	lockmgr := flag.String("lockmgr", "striped", "lock table implementation: striped or global")
+	hot := flag.Bool("hot", false, "run the contention profiler instead of the experiment tables")
+	traceN := flag.Int("trace", 0, "with -hot: also print the last N trace events")
+	asJSON := flag.Bool("json", false, "with -hot: print the expvar-style JSON snapshot")
+	topK := flag.Int("topk", 10, "with -hot: number of hottest objects to report")
+	items := flag.Int("items", 4, "with -hot: number of items (contention falls as it grows)")
+	mpl := flag.Int("mpl", 16, "with -hot: multiprogramming level")
 	flag.Parse()
 
 	lt, err := core.ParseLockTable(*lockmgr)
@@ -32,6 +45,14 @@ func main() {
 		os.Exit(2)
 	}
 	harness.SetLockTable(lt)
+
+	if *hot || *traceN > 0 {
+		if err := runHot(lt, *items, *mpl, *topK, *traceN, *quick, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var exps []*harness.Experiment
 	if *exp == "" {
@@ -57,4 +78,38 @@ func main() {
 			fmt.Println(t)
 		}
 	}
+}
+
+// runHot executes one contended workload point per protocol with the
+// tracer enabled and prints each protocol's contention profile: the
+// topK hottest objects, the per-case wait-time histograms, and the
+// Fig. 9 case-mix ratio.
+func runHot(lt core.LockTableKind, items, mpl, topK, traceN int, quick, asJSON bool) error {
+	txPer := 300
+	if quick {
+		txPer = 100
+	}
+	for _, p := range core.Protocols() {
+		tr := trace.New(trace.Config{Protocol: p.String()})
+		tr.SetEnabled(true)
+		m, err := workload.Run(workload.Config{
+			Protocol: p, Items: items, Clients: mpl, TxPerClient: txPer,
+			Seed: 42, LockTable: lt, Validate: true, Tracer: tr,
+		})
+		if err != nil {
+			return fmt.Errorf("hot %s: %w", p, err)
+		}
+		if asJSON {
+			out, err := tr.JSON(topK, traceN)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			continue
+		}
+		fmt.Print(tr.Snapshot(topK, traceN))
+		fmt.Printf("case mix (case1/case2/root-wait): %s   tps=%.0f blocks/tx=%.2f\n\n",
+			m.CaseMix(), m.Throughput, m.BlockRate())
+	}
+	return nil
 }

@@ -1,5 +1,7 @@
 package core
 
+import "semcc/internal/core/trace"
+
 // testConflict implements the paper's Figure 9 for the semantic
 // protocol, and the corresponding tests for the baseline protocols.
 //
@@ -60,8 +62,14 @@ func (m *lockMgr) testConflict(h *lock, r *lock, stripe int, probe bool) *Tx {
 					// Case 1: the conflict is an implementation-level
 					// pseudo-conflict; the committed commutative
 					// ancestor has already made the subtransaction's
-					// effects semantically visible.
+					// effects semantically visible. Case-1 grants leave
+					// no block/grant pair behind, so the trace tags
+					// them here (the tracer's stripe mutex is a leaf:
+					// emitting under the shard mutex cannot deadlock).
 					m.bumpStat(stripe, cCase1Grants, probe)
+					if !probe && m.tr.On() {
+						m.tr.Emit(stripe, trace.Event{Kind: trace.KCase1, Node: rOwner.id, Root: rOwner.root.id, Obj: r.inv.Object, Peer: hOwner.id})
+					}
 					return nil
 				}
 				// Case 2: r may resume as soon as hp commits.

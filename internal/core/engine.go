@@ -7,6 +7,7 @@ import (
 
 	"semcc/internal/compat"
 	"semcc/internal/core/locktable"
+	"semcc/internal/core/trace"
 	"semcc/internal/core/waitgraph"
 	"semcc/internal/history"
 	"semcc/internal/oid"
@@ -97,6 +98,10 @@ type Config struct {
 	// Journal, when set, receives write-ahead-log records for restart
 	// recovery (see internal/wal).
 	Journal Journal
+	// Tracer, when set, receives structured observability events
+	// (internal/core/trace). A disabled tracer costs one atomic load
+	// per emission site; nil costs a pointer check.
+	Tracer *trace.Tracer
 	// Hooks are optional test callbacks.
 	Hooks Hooks
 }
@@ -119,6 +124,7 @@ type Engine struct {
 	table   compat.Table
 	record  bool
 	journal Journal
+	tr      *trace.Tracer
 
 	// exec runs a compensating invocation as a child of the given
 	// node; installed by the OODB layer (which owns method bodies).
@@ -157,12 +163,14 @@ func New(cfg Config) *Engine {
 		tbl:      tbl,
 		wfg:      waitgraph.New(),
 		stats:    stats,
+		tr:       cfg.Tracer,
 	}
 	return &Engine{
 		kind:    cfg.Kind,
 		table:   cfg.Table,
 		record:  cfg.Record,
 		journal: cfg.Journal,
+		tr:      cfg.Tracer,
 		lm:      lm,
 		stats:   stats,
 	}
@@ -184,6 +192,10 @@ func (e *Engine) SetExec(f func(parent *Tx, inv compat.Invocation) error) { e.ex
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() StatsSnapshot { return e.stats.Snapshot() }
+
+// Tracer returns the attached observability tracer (nil when none was
+// configured).
+func (e *Engine) Tracer() *trace.Tracer { return e.tr }
 
 // BeginRoot starts a top-level transaction: a node operating on the
 // database pseudo-object (paper §3, footnote 2). Roots acquire no
@@ -272,6 +284,19 @@ func (e *Engine) CompleteChild(t *Tx, inverse *compat.Invocation) error {
 	}
 	t.undo = nil
 
+	// Write-ahead ordering: the subcommit record must be durable
+	// before the commit becomes observable (state transition, retained
+	// locks, waiter wake-up). A crash between the append and the
+	// transition leaves a journal that is *ahead* of observed state,
+	// which recovery treats as "committed" and compensates — correct,
+	// because every store effect of t happened before this point. The
+	// reverse order would let a crash produce observed effects the
+	// journal knows nothing about, which undo-based recovery can never
+	// fix.
+	if e.journal != nil {
+		e.journal.Append(JournalRecord{Kind: JSubCommit, Node: t.id, Inv: inverse, Splice: inverse == nil})
+	}
+
 	// Lock disposition at subcommit, while t is still Active — so no
 	// conflict test ever sees a committed node whose locks are only
 	// half converted (which could send a waiter to sleep on a
@@ -281,9 +306,6 @@ func (e *Engine) CompleteChild(t *Tx, inverse *compat.Invocation) error {
 	t.setState(Committed)
 	t.endSeq = e.seq.Add(1)
 	close(t.done)
-	if e.journal != nil {
-		e.journal.Append(JournalRecord{Kind: JSubCommit, Node: t.id, Inv: inverse, Splice: inverse == nil})
-	}
 	return nil
 }
 
@@ -302,6 +324,12 @@ func (e *Engine) CommitRoot(t *Tx) error {
 	if t.State() != Active {
 		return fmt.Errorf("core: CommitRoot on %s root %s", t.State(), t)
 	}
+	// Write-ahead ordering: journal the commit before it becomes
+	// observable (state transition, lock release, waiter wake-up), so
+	// a crash cannot leave winners the journal still lists as losers.
+	if e.journal != nil {
+		e.journal.Append(JournalRecord{Kind: JRootCommit, Node: t.id})
+	}
 	t.setState(Committed)
 	t.endSeq = e.seq.Add(1)
 	t.undo = nil
@@ -315,9 +343,6 @@ func (e *Engine) CommitRoot(t *Tx) error {
 	e.lm.ReleaseTree(t)
 	close(t.done)
 	e.stats.bump(int(t.id), cRootsCommitted)
-	if e.journal != nil {
-		e.journal.Append(JournalRecord{Kind: JRootCommit, Node: t.id})
-	}
 	return nil
 }
 
@@ -372,9 +397,19 @@ func (e *Engine) abortNode(t *Tx) error {
 		if err == nil && e.journal != nil {
 			e.journal.Append(JournalRecord{Kind: JCompensated, Node: t.id})
 		}
+		if e.tr.On() {
+			e.tr.Emit(int(t.root.id), trace.Event{Kind: trace.KComp, Node: t.id, Root: t.root.id, Obj: undo[i].Object})
+		}
 		e.stats.bump(int(t.root.id), cCompensations)
 	}
 
+	// Write-ahead ordering: the abort-complete record goes to the
+	// journal before the rollback becomes observable (nodes marked
+	// Aborted, locks released) — a crash in between re-runs an empty
+	// pending list, never un-aborts the tree.
+	if firstErr == nil && e.journal != nil {
+		e.journal.Append(JournalRecord{Kind: JNodeAborted, Node: t.id})
+	}
 	t.eachNode(func(n *Tx) {
 		if n.State() == Active {
 			n.setState(Aborted)
@@ -383,9 +418,6 @@ func (e *Engine) abortNode(t *Tx) error {
 		}
 	})
 	e.lm.ReleaseTree(t)
-	if firstErr == nil && e.journal != nil {
-		e.journal.Append(JournalRecord{Kind: JNodeAborted, Node: t.id})
-	}
 	return firstErr
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"semcc/internal/compat"
 	"semcc/internal/core/locktable"
+	"semcc/internal/core/trace"
 	"semcc/internal/core/waitgraph"
 	"semcc/internal/oid"
 )
@@ -63,12 +64,16 @@ type lock struct {
 }
 
 func (l *lock) String() string {
+	// Both tags can apply at once: a queued request whose owner has
+	// already committed (e.g. a closed-nested parent queued elsewhere
+	// while a child's inherited lock is retained) must show both, not
+	// let one silently overwrite the other.
 	tag := ""
 	if l.owner.State() == Committed {
-		tag = " retained"
+		tag += " retained"
 	}
 	if l.queued {
-		tag = " queued"
+		tag += " queued"
 	}
 	return fmt.Sprintf("%s by %s%s", l.inv, l.owner, tag)
 }
@@ -89,6 +94,27 @@ type lockMgr struct {
 	tbl   locktable.Table[*lock]
 	wfg   *waitgraph.Graph
 	stats *Stats
+	tr    *trace.Tracer
+}
+
+// classifyWaits maps a waits-for set to its trace cause and a
+// representative peer: any root target means the request waits for a
+// top-level commit (the Fig. 9 worst case); otherwise every target is
+// a subtransaction whose subcommit will release the request (case 2).
+// Only called when tracing is enabled.
+func classifyWaits(waits []*Tx) (trace.Cause, uint64) {
+	cause := trace.CauseCase2
+	peer := uint64(0)
+	for _, w := range waits {
+		if peer == 0 {
+			peer = w.id
+		}
+		if w.IsRoot() {
+			cause = trace.CauseRoot
+			peer = w.id
+		}
+	}
+	return cause, peer
 }
 
 // waitSet computes the waits-for set of request l: the distinct
@@ -138,9 +164,13 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 	stripe := m.tbl.ShardOf(obj)
 	l := &lock{inv: lockInv, owner: t}
 	m.stats.bump(stripe, cLockRequests)
+	if m.tr.On() {
+		m.tr.Emit(stripe, trace.Event{Kind: trace.KRequest, Node: t.id, Root: t.root.id, Obj: obj})
+	}
 
 	first := true
 	var blockedAt time.Time
+	blockCause := trace.CauseNone
 	for {
 		var (
 			waits   []*Tx
@@ -178,8 +208,15 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			t.locks = append(t.locks, l)
 			if first {
 				m.stats.bump(stripe, cImmediateGrants)
+				if m.tr.On() {
+					m.tr.Emit(stripe, trace.Event{Kind: trace.KGrant, Node: t.id, Root: t.root.id, Obj: obj})
+				}
 			} else {
-				m.stats.add(stripe, cWaitNanos, uint64(time.Since(blockedAt)))
+				waited := uint64(time.Since(blockedAt))
+				m.stats.add(stripe, cWaitNanos, waited)
+				if m.tr.On() {
+					m.tr.Emit(stripe, trace.Event{Kind: trace.KGrant, Cause: blockCause, Node: t.id, Root: t.root.id, Obj: obj, Nanos: waited})
+				}
 			}
 			return nil
 		}
@@ -187,6 +224,11 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			first = false
 			blockedAt = time.Now()
 			m.stats.bump(stripe, cBlocks)
+			if m.tr.On() {
+				cause, peer := classifyWaits(waits)
+				blockCause = cause
+				m.tr.Emit(stripe, trace.Event{Kind: trace.KBlock, Cause: cause, Node: t.id, Root: t.root.id, Obj: obj, Peer: peer})
+			}
 		}
 		// Install the wait edges and look for a cycle — atomically,
 		// under the graph's own lock, with no shard held.
@@ -200,6 +242,9 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 		} else if m.wfg.AddAndCheck(t.id, t.root.id, targets) {
 			m.dequeue(l)
 			m.stats.bump(stripe, cDeadlocks)
+			if m.tr.On() {
+				m.tr.Emit(stripe, trace.Event{Kind: trace.KDeadlock, Cause: blockCause, Node: t.id, Root: t.root.id, Obj: obj})
+			}
 			return ErrDeadlock
 		}
 		m.stats.add(stripe, cWaitEvents, uint64(len(waits)))
@@ -222,6 +267,9 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			m.wfg.Clear(t.id)
 			m.dequeue(l)
 			m.stats.bump(stripe, cDeadlocks)
+			if m.tr.On() {
+				m.tr.Emit(stripe, trace.Event{Kind: trace.KDeadlock, Cause: blockCause, Node: t.id, Root: t.root.id, Obj: obj})
+			}
 			return ErrDeadlock
 		case waitForce:
 			// Last-resort for a cycle consisting only of compensating
@@ -237,7 +285,11 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			})
 			t.locks = append(t.locks, l)
 			m.stats.bump(stripe, cForcedGrants)
-			m.stats.add(stripe, cWaitNanos, uint64(time.Since(blockedAt)))
+			waited := uint64(time.Since(blockedAt))
+			m.stats.add(stripe, cWaitNanos, waited)
+			if m.tr.On() {
+				m.tr.Emit(stripe, trace.Event{Kind: trace.KForce, Cause: blockCause, Node: t.id, Root: t.root.id, Obj: obj, Nanos: waited})
+			}
 			return nil
 		}
 		m.wfg.Clear(t.id)
@@ -326,6 +378,10 @@ func (m *lockMgr) Retain(t *Tx) {
 	case Semantic:
 		// Retained: nothing to do — retention is derived from the
 		// owner's Committed state (paper §4.1).
+		if m.tr.On() && len(t.locks) > 0 {
+			o := t.locks[0].inv.Object
+			m.tr.Emit(m.tbl.ShardOf(o), trace.Event{Kind: trace.KRetain, Node: t.id, Root: t.root.id, Obj: o})
+		}
 	case OpenNoRetain:
 		// Paper §3: the locks of the actions *in* the subtransaction
 		// are released at its commit; the subtransaction's own lock is

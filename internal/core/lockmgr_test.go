@@ -111,6 +111,35 @@ func TestFCFSGrantOrderStress(t *testing.T) {
 	}
 }
 
+// TestLockStringRendersBothTags pins the Dump rendering fix: a lock
+// that is both retained (owner committed) and queued must show both
+// tags — the old code let "queued" silently overwrite "retained",
+// hiding the retention from diagnostic dumps.
+func TestLockStringRendersBothTags(t *testing.T) {
+	e := New(Config{Kind: Semantic, Table: newTestTable()})
+	e.SetExec(func(parent *Tx, inv compat.Invocation) error { return nil })
+	o := obj()
+	r := e.BeginRoot()
+	a := begin(t, e, r, compat.Inv(o, "A"))
+	complete(t, e, a) // a is Committed, so its locks are retained
+
+	both := &lock{inv: compat.Inv(o, "A"), owner: a, queued: true}
+	if s := both.String(); !strings.Contains(s, "retained") || !strings.Contains(s, "queued") {
+		t.Errorf("retained+queued lock String() = %q, want both tags", s)
+	}
+	ret := &lock{inv: compat.Inv(o, "A"), owner: a}
+	if s := ret.String(); !strings.Contains(s, "retained") || strings.Contains(s, "queued") {
+		t.Errorf("retained lock String() = %q, want only the retained tag", s)
+	}
+	q := &lock{inv: compat.Inv(o, "A"), owner: r, queued: true}
+	if s := q.String(); strings.Contains(s, "retained") || !strings.Contains(s, "queued") {
+		t.Errorf("queued lock String() = %q, want only the queued tag", s)
+	}
+	if err := e.CommitRoot(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestOnBlockContract pins the Hooks.OnBlock contract: the callback
 // runs with no lock-table shard mutex held — re-entering the engine
 // (ProbeConflicts on the same object, DumpLocks) from inside the hook
@@ -179,6 +208,9 @@ func TestOnBlockContract(t *testing.T) {
 			}
 			if !strings.Contains(dumpIn, "retained") {
 				t.Errorf("DumpLocks inside OnBlock = %q, want the retained holder visible", dumpIn)
+			}
+			if !strings.Contains(dumpIn, "queued") {
+				t.Errorf("DumpLocks inside OnBlock = %q, want the blocked request tagged queued", dumpIn)
 			}
 			// The probe from inside the hook sees the retained holder
 			// plus the already-queued blocked request ahead of it

@@ -81,6 +81,20 @@ type StatsSnapshot struct {
 	WaitNanos uint64
 }
 
+// CaseMix returns the Fig. 9 conflict-classification shares: the
+// fractions of classified conflicts that resolved as case-1
+// pseudo-conflict grants, case-2 subcommit waits, and worst-case
+// top-level-commit waits. The shares sum to 1 when any conflict was
+// classified; all three are 0 for a conflict-free run.
+func (s StatsSnapshot) CaseMix() (case1, case2, root float64) {
+	tot := s.Case1Grants + s.Case2Waits + s.RootWaits
+	if tot == 0 {
+		return 0, 0, 0
+	}
+	f := float64(tot)
+	return float64(s.Case1Grants) / f, float64(s.Case2Waits) / f, float64(s.RootWaits) / f
+}
+
 // Snapshot aggregates the stripes into a copyable view.
 func (s *Stats) Snapshot() StatsSnapshot {
 	var tot [numStatCounters]uint64

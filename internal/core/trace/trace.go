@@ -1,0 +1,469 @@
+// Package trace is the engine's observability subsystem: a structured
+// event trace of concurrency-control decisions (lock requests, blocks,
+// grants, Fig. 9 conflict classifications, deadlock victims, retention
+// conversions, compensation steps) plus per-object contention
+// profiling (the hottest objects by block count and cumulative blocked
+// time, and log₂-bucketed wait-time histograms per wait cause).
+//
+// Cost model: the disabled path is a nil check plus a single atomic
+// load — every emission site in the engine is guarded by (*Tracer).On,
+// so an engine built without a tracer, or with one switched off, pays
+// nothing measurable on the lock hot path. When enabled, events go to
+// fixed-size per-stripe ring buffers (oldest events overwritten), each
+// stripe guarded by its own mutex; the engine passes the lock-table
+// shard index as the stripe, so trace-buffer contention mirrors
+// lock-table contention instead of adding a new global hotspot. The
+// contention profile and the histograms are cumulative (they survive
+// ring wrap-around), so a snapshot at quiescence is exact even for
+// runs far longer than the ring.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"semcc/internal/oid"
+)
+
+// Kind tags a trace event.
+type Kind uint8
+
+const (
+	// KRequest: a lock acquisition was attempted.
+	KRequest Kind = iota
+	// KBlock: the request started waiting; Cause classifies the wait
+	// and Peer is a node it waits for.
+	KBlock
+	// KGrant: the request was granted; Nanos is the time it spent
+	// blocked (0 for an immediate grant).
+	KGrant
+	// KCase1: the Fig. 9 case-1 pseudo-conflict — a committed
+	// commutative ancestor pair let the conflict be ignored. Peer is
+	// the holder whose lock was overruled.
+	KCase1
+	// KDeadlock: the request was aborted as a deadlock victim.
+	KDeadlock
+	// KForce: a compensation force-grant (all-compensator cycle
+	// backstop; see the lock manager).
+	KForce
+	// KRetain: a subcommit converted the node's locks to retained.
+	KRetain
+	// KComp: one compensating invocation was executed during an abort.
+	KComp
+	numKinds
+)
+
+// String returns the event kind name.
+func (k Kind) String() string {
+	switch k {
+	case KRequest:
+		return "request"
+	case KBlock:
+		return "block"
+	case KGrant:
+		return "grant"
+	case KCase1:
+		return "case1"
+	case KDeadlock:
+		return "deadlock"
+	case KForce:
+		return "force-grant"
+	case KRetain:
+		return "retain"
+	case KComp:
+		return "compensate"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Cause classifies why a blocked request waited, mirroring the Fig. 9
+// outcomes that involve waiting.
+type Cause uint8
+
+const (
+	// CauseNone: the event involved no wait.
+	CauseNone Cause = iota
+	// CauseCase2: Fig. 9 case 2 — waiting for an uncommitted
+	// commutative ancestor's subcommit (or, for the baselines, any
+	// wait whose target is a subtransaction rather than a root).
+	CauseCase2
+	// CauseRoot: the worst case — waiting for a top-level commit.
+	CauseRoot
+	numCauses
+)
+
+// String returns the cause name.
+func (c Cause) String() string {
+	switch c {
+	case CauseCase2:
+		return "case2"
+	case CauseRoot:
+		return "root-wait"
+	default:
+		return "none"
+	}
+}
+
+// Event is one trace record. Seq is assigned at emission and totally
+// orders events across stripes.
+type Event struct {
+	Seq   uint64
+	Kind  Kind
+	Cause Cause
+	Node  uint64  // acting transaction node
+	Root  uint64  // its top-level transaction
+	Obj   oid.OID // object involved (zero for node-level events)
+	Peer  uint64  // counterpart node (blocker, overruled holder), 0 if none
+	Nanos uint64  // blocked duration for KGrant/KForce after a wait
+}
+
+// MarshalJSON renders the event with symbolic kind/cause names and the
+// object in its diagnostic form.
+func (e Event) MarshalJSON() ([]byte, error) {
+	out := struct {
+		Seq   uint64 `json:"seq"`
+		Kind  string `json:"kind"`
+		Cause string `json:"cause,omitempty"`
+		Node  uint64 `json:"node"`
+		Root  uint64 `json:"root"`
+		Obj   string `json:"obj,omitempty"`
+		Peer  uint64 `json:"peer,omitempty"`
+		Nanos uint64 `json:"wait_ns,omitempty"`
+	}{Seq: e.Seq, Kind: e.Kind.String(), Node: e.Node, Root: e.Root, Peer: e.Peer, Nanos: e.Nanos}
+	if e.Cause != CauseNone {
+		out.Cause = e.Cause.String()
+	}
+	if e.Obj != (oid.OID{}) {
+		out.Obj = e.Obj.String()
+	}
+	return json.Marshal(out)
+}
+
+// Config parameterises a Tracer.
+type Config struct {
+	// Stripes is the number of independent ring/profile stripes,
+	// rounded up to a power of two; 0 selects 64 (matching the
+	// engine's stats striping).
+	Stripes int
+	// RingSize is the number of events each stripe retains; 0 selects
+	// 256 (64 stripes × 256 events ≈ 1 MiB).
+	RingSize int
+	// Protocol labels snapshots with the protocol kind under test, so
+	// per-protocol histograms can be compared side by side.
+	Protocol string
+}
+
+// objCounts is the cumulative contention profile of one object.
+type objCounts struct {
+	blocks    uint64
+	waitNanos uint64
+}
+
+// stripe is one independently locked trace partition.
+type stripe struct {
+	mu   sync.Mutex
+	ring []Event
+	n    uint64 // events ever written to this stripe
+	objs map[oid.OID]*objCounts
+	// pad the mutex-guarded block to its own cache lines.
+	_ [32]byte
+}
+
+// hist is a log₂-bucketed duration histogram: bucket i counts
+// durations n with bits.Len64(n) == i, i.e. n ∈ [2^(i-1), 2^i).
+type hist struct {
+	b [65]atomic.Uint64
+}
+
+func (h *hist) observe(nanos uint64) { h.b[bits.Len64(nanos)].Add(1) }
+
+// Tracer collects trace events and contention profiles for one engine.
+// A nil *Tracer is valid and permanently off; all methods are
+// nil-safe.
+type Tracer struct {
+	protocol string
+	ringSize int
+	mask     uint64
+	enabled  atomic.Bool
+	seq      atomic.Uint64
+	hists    [numCauses]hist
+	stripes  []stripe
+}
+
+// New returns a Tracer. It starts disabled; call SetEnabled(true) to
+// begin collection.
+func New(cfg Config) *Tracer {
+	n := cfg.Stripes
+	if n <= 0 {
+		n = 64
+	}
+	// Round up to a power of two so stripe selection is a mask.
+	n = 1 << bits.Len(uint(n-1))
+	size := cfg.RingSize
+	if size <= 0 {
+		size = 256
+	}
+	t := &Tracer{
+		protocol: cfg.Protocol,
+		ringSize: size,
+		mask:     uint64(n - 1),
+		stripes:  make([]stripe, n),
+	}
+	for i := range t.stripes {
+		t.stripes[i].ring = make([]Event, size)
+		t.stripes[i].objs = make(map[oid.OID]*objCounts)
+	}
+	return t
+}
+
+// SetEnabled switches collection on or off. Concurrent with emission;
+// an in-flight emission may complete after SetEnabled(false) returns.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// On reports whether events should be emitted — the single check every
+// engine emission site performs. The disabled path is this nil check
+// plus one atomic load.
+func (t *Tracer) On() bool { return t != nil && t.enabled.Load() }
+
+// Protocol returns the configured protocol label.
+func (t *Tracer) Protocol() string {
+	if t == nil {
+		return ""
+	}
+	return t.protocol
+}
+
+// Emit records ev on the given stripe (any int; masked down), assigns
+// its sequence number, and updates the contention profile: KBlock
+// bumps the object's block count, a KGrant/KForce with Nanos > 0 adds
+// blocked time to the object and observes the per-cause histogram.
+// Callers should guard with On(); Emit re-checks and is nil-safe.
+func (t *Tracer) Emit(stripeIdx int, ev Event) {
+	if !t.On() {
+		return
+	}
+	ev.Seq = t.seq.Add(1)
+	if ev.Nanos > 0 && (ev.Kind == KGrant || ev.Kind == KForce) {
+		t.hists[ev.Cause%numCauses].observe(ev.Nanos)
+	}
+	s := &t.stripes[uint64(stripeIdx)&t.mask]
+	s.mu.Lock()
+	switch ev.Kind {
+	case KBlock:
+		s.obj(ev.Obj).blocks++
+	case KGrant, KForce:
+		if ev.Nanos > 0 {
+			s.obj(ev.Obj).waitNanos += ev.Nanos
+		}
+	}
+	s.ring[s.n%uint64(t.ringSize)] = ev
+	s.n++
+	s.mu.Unlock()
+}
+
+// obj returns the profile entry for o, creating it. Caller holds s.mu.
+func (s *stripe) obj(o oid.OID) *objCounts {
+	c := s.objs[o]
+	if c == nil {
+		c = &objCounts{}
+		s.objs[o] = c
+	}
+	return c
+}
+
+// ObjProfile is one entry of the hot-object table.
+type ObjProfile struct {
+	Obj       string `json:"obj"`
+	Blocks    uint64 `json:"blocks"`
+	WaitNanos uint64 `json:"wait_ns"`
+}
+
+// HistBucket is one non-empty histogram bucket covering blocked
+// durations in [LoNanos, HiNanos).
+type HistBucket struct {
+	LoNanos uint64 `json:"lo_ns"`
+	HiNanos uint64 `json:"hi_ns"`
+	Count   uint64 `json:"count"`
+}
+
+// CauseHist is the wait-time histogram for one wait cause.
+type CauseHist struct {
+	Cause   string       `json:"cause"`
+	Waits   uint64       `json:"waits"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a copyable view of a Tracer, suitable for JSON export.
+type Snapshot struct {
+	Protocol string       `json:"protocol,omitempty"`
+	Enabled  bool         `json:"enabled"`
+	Emitted  uint64       `json:"events_emitted"`
+	Hot      []ObjProfile `json:"hot_objects,omitempty"`
+	Hist     []CauseHist  `json:"wait_histograms,omitempty"`
+	Recent   []Event      `json:"recent_events,omitempty"`
+}
+
+// Snapshot captures the tracer state: the topK hottest objects (by
+// block count, ties broken by blocked time), the per-cause wait
+// histograms, and the most recent `recent` events in sequence order.
+// Safe to call concurrently with emission; nil-safe.
+func (t *Tracer) Snapshot(topK, recent int) *Snapshot {
+	if t == nil {
+		return &Snapshot{}
+	}
+	snap := &Snapshot{Protocol: t.protocol, Enabled: t.enabled.Load(), Emitted: t.seq.Load()}
+
+	// Contention profile + recent events, stripe by stripe.
+	type hot struct {
+		obj oid.OID
+		c   objCounts
+	}
+	var hots []hot
+	var events []Event
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.Lock()
+		for o, c := range s.objs {
+			hots = append(hots, hot{obj: o, c: *c})
+		}
+		if recent > 0 {
+			n := s.n
+			if n > uint64(t.ringSize) {
+				n = uint64(t.ringSize)
+			}
+			events = append(events, s.ring[:n]...)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].c.blocks != hots[j].c.blocks {
+			return hots[i].c.blocks > hots[j].c.blocks
+		}
+		if hots[i].c.waitNanos != hots[j].c.waitNanos {
+			return hots[i].c.waitNanos > hots[j].c.waitNanos
+		}
+		return hots[i].obj.String() < hots[j].obj.String()
+	})
+	if topK > 0 && len(hots) > topK {
+		hots = hots[:topK]
+	}
+	for _, h := range hots {
+		snap.Hot = append(snap.Hot, ObjProfile{Obj: h.obj.String(), Blocks: h.c.blocks, WaitNanos: h.c.waitNanos})
+	}
+
+	for c := Cause(0); c < numCauses; c++ {
+		ch := CauseHist{Cause: c.String()}
+		for i := range t.hists[c].b {
+			cnt := t.hists[c].b[i].Load()
+			if cnt == 0 {
+				continue
+			}
+			lo := uint64(0)
+			if i > 0 {
+				lo = 1 << (i - 1)
+			}
+			hi := uint64(1) << i
+			ch.Waits += cnt
+			ch.Buckets = append(ch.Buckets, HistBucket{LoNanos: lo, HiNanos: hi, Count: cnt})
+		}
+		if ch.Waits > 0 {
+			snap.Hist = append(snap.Hist, ch)
+		}
+	}
+
+	if recent > 0 {
+		sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+		if len(events) > recent {
+			events = events[len(events)-recent:]
+		}
+		snap.Recent = events
+	}
+	return snap
+}
+
+// JSON renders a snapshot as indented JSON (the expvar-style export).
+func (t *Tracer) JSON(topK, recent int) ([]byte, error) {
+	return json.MarshalIndent(t.Snapshot(topK, recent), "", "  ")
+}
+
+// fmtNanos renders a nanosecond count as a compact human duration.
+func fmtNanos(ns uint64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3gs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3gms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3gµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// String renders the snapshot as the human-readable contention report
+// printed by `semcc-bench -hot`.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	label := s.Protocol
+	if label == "" {
+		label = "engine"
+	}
+	fmt.Fprintf(&b, "== contention profile: %s ==\n", label)
+	fmt.Fprintf(&b, "events emitted: %d\n", s.Emitted)
+	if len(s.Hot) > 0 {
+		fmt.Fprintf(&b, "top contended objects:\n")
+		fmt.Fprintf(&b, "  %-16s %8s %12s %10s\n", "object", "blocks", "wait", "avg")
+		for _, h := range s.Hot {
+			avg := uint64(0)
+			if h.Blocks > 0 {
+				avg = h.WaitNanos / h.Blocks
+			}
+			fmt.Fprintf(&b, "  %-16s %8d %12s %10s\n", h.Obj, h.Blocks, fmtNanos(h.WaitNanos), fmtNanos(avg))
+		}
+	} else {
+		fmt.Fprintf(&b, "no blocked lock requests recorded\n")
+	}
+	for _, ch := range s.Hist {
+		fmt.Fprintf(&b, "wait-time histogram — %s (%d waits):\n", ch.Cause, ch.Waits)
+		max := uint64(1)
+		for _, bk := range ch.Buckets {
+			if bk.Count > max {
+				max = bk.Count
+			}
+		}
+		for _, bk := range ch.Buckets {
+			bar := strings.Repeat("#", int(1+bk.Count*39/max))
+			fmt.Fprintf(&b, "  [%8s, %8s) %8d %s\n", fmtNanos(bk.LoNanos), fmtNanos(bk.HiNanos), bk.Count, bar)
+		}
+	}
+	if len(s.Recent) > 0 {
+		fmt.Fprintf(&b, "last %d events:\n", len(s.Recent))
+		for _, e := range s.Recent {
+			fmt.Fprintf(&b, "  #%d %s tx%d(root %d)", e.Seq, e.Kind, e.Node, e.Root)
+			if e.Obj != (oid.OID{}) {
+				fmt.Fprintf(&b, " obj=%s", e.Obj)
+			}
+			if e.Cause != CauseNone {
+				fmt.Fprintf(&b, " cause=%s", e.Cause)
+			}
+			if e.Peer != 0 {
+				fmt.Fprintf(&b, " peer=tx%d", e.Peer)
+			}
+			if e.Nanos > 0 {
+				fmt.Fprintf(&b, " waited=%s", fmtNanos(e.Nanos))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"semcc/internal/oid"
+)
+
+func o(n uint64) oid.OID { return oid.OID{K: oid.Tuple, N: n} }
+
+func TestDisabledAndNilTracersAreInert(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.On() {
+		t.Error("nil tracer reports On")
+	}
+	nilTr.Emit(0, Event{Kind: KRequest}) // must not panic
+	nilTr.SetEnabled(true)
+	if s := nilTr.Snapshot(5, 5); s.Emitted != 0 {
+		t.Errorf("nil tracer snapshot = %+v", s)
+	}
+
+	tr := New(Config{})
+	if tr.On() {
+		t.Error("fresh tracer is enabled")
+	}
+	tr.Emit(0, Event{Kind: KBlock, Obj: o(1)})
+	if s := tr.Snapshot(5, 5); s.Emitted != 0 || len(s.Hot) != 0 {
+		t.Errorf("disabled tracer collected: %+v", s)
+	}
+}
+
+func TestRingOverwritesOldestAndKeepsOrder(t *testing.T) {
+	tr := New(Config{Stripes: 1, RingSize: 4})
+	tr.SetEnabled(true)
+	for i := uint64(1); i <= 10; i++ {
+		tr.Emit(0, Event{Kind: KRequest, Node: i})
+	}
+	s := tr.Snapshot(0, 10)
+	if s.Emitted != 10 {
+		t.Fatalf("Emitted = %d, want 10", s.Emitted)
+	}
+	if len(s.Recent) != 4 {
+		t.Fatalf("recent = %d events, want ring size 4", len(s.Recent))
+	}
+	for i, ev := range s.Recent {
+		if want := uint64(7 + i); ev.Seq != want || ev.Node != want {
+			t.Errorf("recent[%d] = seq %d node %d, want %d", i, ev.Seq, ev.Node, want)
+		}
+	}
+}
+
+func TestHotObjectsRankByBlocksThenWait(t *testing.T) {
+	tr := New(Config{Stripes: 4})
+	tr.SetEnabled(true)
+	// Object 1: 3 blocks, little wait. Object 2: 1 block, huge wait.
+	// Object 3: 3 blocks, more wait than object 1.
+	for i := 0; i < 3; i++ {
+		tr.Emit(1, Event{Kind: KBlock, Obj: o(1)})
+		tr.Emit(1, Event{Kind: KGrant, Cause: CauseCase2, Obj: o(1), Nanos: 10})
+		tr.Emit(3, Event{Kind: KBlock, Obj: o(3)})
+		tr.Emit(3, Event{Kind: KGrant, Cause: CauseRoot, Obj: o(3), Nanos: 1000})
+	}
+	tr.Emit(2, Event{Kind: KBlock, Obj: o(2)})
+	tr.Emit(2, Event{Kind: KGrant, Cause: CauseRoot, Obj: o(2), Nanos: 1 << 30})
+
+	s := tr.Snapshot(2, 0)
+	if len(s.Hot) != 2 {
+		t.Fatalf("hot = %+v, want top-2", s.Hot)
+	}
+	if s.Hot[0].Obj != o(3).String() || s.Hot[0].Blocks != 3 || s.Hot[0].WaitNanos != 3000 {
+		t.Errorf("hot[0] = %+v, want tuple:3 with 3 blocks / 3000ns", s.Hot[0])
+	}
+	if s.Hot[1].Obj != o(1).String() || s.Hot[1].Blocks != 3 {
+		t.Errorf("hot[1] = %+v, want tuple:1", s.Hot[1])
+	}
+}
+
+func TestHistogramBucketsByCause(t *testing.T) {
+	tr := New(Config{})
+	tr.SetEnabled(true)
+	// 100ns and 120ns share the [64,128) bucket; 1<<20 ns is elsewhere.
+	tr.Emit(0, Event{Kind: KGrant, Cause: CauseCase2, Obj: o(1), Nanos: 100})
+	tr.Emit(0, Event{Kind: KGrant, Cause: CauseCase2, Obj: o(1), Nanos: 120})
+	tr.Emit(0, Event{Kind: KForce, Cause: CauseRoot, Obj: o(1), Nanos: 1 << 20})
+	// Immediate grants (Nanos 0) must not enter any histogram.
+	tr.Emit(0, Event{Kind: KGrant, Obj: o(1)})
+
+	s := tr.Snapshot(0, 0)
+	byCause := map[string]CauseHist{}
+	for _, h := range s.Hist {
+		byCause[h.Cause] = h
+	}
+	c2, ok := byCause["case2"]
+	if !ok || c2.Waits != 2 || len(c2.Buckets) != 1 {
+		t.Fatalf("case2 hist = %+v", c2)
+	}
+	if b := c2.Buckets[0]; b.LoNanos != 64 || b.HiNanos != 128 || b.Count != 2 {
+		t.Errorf("case2 bucket = %+v, want [64,128)=2", b)
+	}
+	rw, ok := byCause["root-wait"]
+	if !ok || rw.Waits != 1 {
+		t.Fatalf("root-wait hist = %+v", rw)
+	}
+	if b := rw.Buckets[0]; !(b.LoNanos <= 1<<20 && 1<<20 < b.HiNanos) {
+		t.Errorf("root-wait bucket %+v does not cover 2^20", b)
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	tr := New(Config{Protocol: "semantic"})
+	tr.SetEnabled(true)
+	tr.Emit(0, Event{Kind: KBlock, Cause: CauseRoot, Node: 2, Root: 1, Obj: o(7), Peer: 3})
+	tr.Emit(0, Event{Kind: KGrant, Cause: CauseRoot, Node: 2, Root: 1, Obj: o(7), Nanos: 500})
+
+	raw, err := tr.JSON(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("JSON export is not valid JSON: %v\n%s", err, raw)
+	}
+	for _, key := range []string{"protocol", "enabled", "events_emitted", "hot_objects", "wait_histograms", "recent_events"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON export missing %q:\n%s", key, raw)
+		}
+	}
+	text := string(raw)
+	for _, want := range []string{`"kind": "block"`, `"cause": "root-wait"`, `"obj": "tuple:7"`, `"wait_ns": 500`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("JSON export missing %s:\n%s", want, text)
+		}
+	}
+}
+
+func TestSnapshotStringReport(t *testing.T) {
+	tr := New(Config{Protocol: "semantic"})
+	tr.SetEnabled(true)
+	tr.Emit(0, Event{Kind: KBlock, Cause: CauseCase2, Node: 2, Root: 1, Obj: o(7), Peer: 3})
+	tr.Emit(0, Event{Kind: KGrant, Cause: CauseCase2, Node: 2, Root: 1, Obj: o(7), Nanos: 12345})
+	out := tr.Snapshot(5, 5).String()
+	for _, want := range []string{"semantic", "tuple:7", "case2", "histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentEmission exercises the stripe mutexes and atomic
+// counters under -race.
+func TestConcurrentEmission(t *testing.T) {
+	tr := New(Config{Stripes: 8, RingSize: 64})
+	tr.SetEnabled(true)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(w+i, Event{Kind: KBlock, Node: uint64(w), Obj: o(uint64(i % 10))})
+				tr.Emit(w+i, Event{Kind: KGrant, Cause: CauseCase2, Node: uint64(w), Obj: o(uint64(i % 10)), Nanos: uint64(i + 1)})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			tr.Snapshot(5, 20)
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	s := tr.Snapshot(0, 0)
+	if want := uint64(workers * per * 2); s.Emitted != want {
+		t.Errorf("Emitted = %d, want %d", s.Emitted, want)
+	}
+	var blocks uint64
+	for _, h := range s.Hot {
+		blocks += h.Blocks
+	}
+	if want := uint64(workers * per); blocks != want {
+		t.Errorf("total blocks = %d, want %d", blocks, want)
+	}
+}

@@ -40,12 +40,15 @@ func metricCells(m workload.Metrics) []string {
 		d(m.Engine.RootWaits),
 		d(m.Engine.Case1Grants),
 		d(m.Engine.Case2Waits),
+		m.CaseMix(),
 		d(m.Engine.Deadlocks),
 		f1(m.AvgWaitMicros()),
 	}
 }
 
-var metricHeader = []string{"tps", "commits", "retries", "blocks/tx", "rootwaits", "case1", "case2", "deadlocks", "wait(µs)"}
+// mix% is the Fig. 9 classification share case1/case2/root — the
+// paper's central quantitative claim, reported per figure row.
+var metricHeader = []string{"tps", "commits", "retries", "blocks/tx", "rootwaits", "case1", "case2", "mix%(1/2/r)", "deadlocks", "wait(µs)"}
 
 func init() {
 	Register(&Experiment{

@@ -1,11 +1,13 @@
 package oodb
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 
 	"semcc/internal/compat"
 	"semcc/internal/core"
+	"semcc/internal/core/trace"
 	"semcc/internal/objstore"
 	"semcc/internal/oid"
 	"semcc/internal/val"
@@ -33,6 +35,11 @@ type Options struct {
 	// Journal, when set, receives write-ahead-log records for restart
 	// recovery (internal/wal).
 	Journal core.Journal
+	// Tracer, when set, attaches the observability subsystem
+	// (internal/core/trace): structured event trace, per-object
+	// contention profile, wait-time histograms. Disabled tracers cost
+	// one atomic load per engine emission site.
+	Tracer *trace.Tracer
 	// Hooks passes test callbacks to the engine.
 	Hooks core.Hooks
 }
@@ -65,6 +72,7 @@ func Open(opts Options) *DB {
 		LockTable:        opts.LockTable,
 		LockShards:       opts.LockShards,
 		Journal:          opts.Journal,
+		Tracer:           opts.Tracer,
 		Hooks:            opts.Hooks,
 	})
 	db.engine.SetExec(func(parent *core.Tx, inv compat.Invocation) error {
@@ -94,6 +102,7 @@ func Reopen(old *DB, opts Options) *DB {
 		LockTable:        opts.LockTable,
 		LockShards:       opts.LockShards,
 		Journal:          opts.Journal,
+		Tracer:           opts.Tracer,
 		Hooks:            opts.Hooks,
 	})
 	db.engine.SetExec(func(parent *core.Tx, inv compat.Invocation) error {
@@ -186,3 +195,24 @@ func (db *DB) ComponentPath(obj oid.OID, names ...string) (oid.OID, error) {
 // ReadAtom reads an atomic object's value outside any transaction —
 // for test assertions and population checks only.
 func (db *DB) ReadAtom(obj oid.OID) (val.V, error) { return db.store.ReadAtomic(obj) }
+
+// ObservabilityJSON renders an expvar-style JSON snapshot of the
+// engine: the monotone concurrency-control counters plus, when a
+// tracer is attached, its contention profile (topK hottest objects,
+// per-cause wait-time histograms) and the most recent trace events.
+// Safe to call while transactions run; counters are then monotone per
+// field but not a single consistent cut (see core.Stats).
+func (db *DB) ObservabilityJSON(topK, recentEvents int) ([]byte, error) {
+	snap := struct {
+		Protocol string             `json:"protocol"`
+		Stats    core.StatsSnapshot `json:"stats"`
+		Trace    *trace.Snapshot    `json:"trace,omitempty"`
+	}{
+		Protocol: db.engine.Kind().String(),
+		Stats:    db.engine.Stats(),
+	}
+	if tr := db.engine.Tracer(); tr != nil {
+		snap.Trace = tr.Snapshot(topK, recentEvents)
+	}
+	return json.MarshalIndent(snap, "", "  ")
+}

@@ -274,7 +274,10 @@ func Unmarshal(b []byte) (V, int, error) {
 		return OfFloat(f), p + 8, nil
 	case Str:
 		l, n := binary.Uvarint(b[p:])
-		if n <= 0 || len(b) < p+n+int(l) {
+		// The length check runs in uint64 space: converting a huge l to
+		// int first could overflow negative and slip past a p+n+int(l)
+		// comparison into a bad slice bound.
+		if n <= 0 || l > uint64(len(b)-p-n) {
 			return NullV, 0, fmt.Errorf("val: bad string encoding")
 		}
 		p += n
@@ -297,14 +300,17 @@ func Unmarshal(b []byte) (V, int, error) {
 		return OfRef(oid.OID{K: k, N: nn}), p + n, nil
 	case Events:
 		cnt, n := binary.Uvarint(b[p:])
-		if n <= 0 {
+		// Each event needs at least 1 length byte, so a count beyond
+		// the remaining input is corrupt; checking before the make
+		// bounds the preallocation by len(b).
+		if n <= 0 || cnt > uint64(len(b)-p-n) {
 			return NullV, 0, fmt.Errorf("val: bad events encoding")
 		}
 		p += n
 		evs := make([]Event, 0, cnt)
 		for i := uint64(0); i < cnt; i++ {
 			l, n := binary.Uvarint(b[p:])
-			if n <= 0 || len(b) < p+n+int(l) {
+			if n <= 0 || l > uint64(len(b)-p-n) {
 				return NullV, 0, fmt.Errorf("val: bad event encoding")
 			}
 			p += n

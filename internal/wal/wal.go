@@ -103,12 +103,23 @@ func (l *Log) Marshal() []byte {
 	return buf
 }
 
-// Unmarshal reconstructs a log serialised by Marshal.
+// Unmarshal reconstructs a log serialised by Marshal. It is hardened
+// against corrupt or adversarial input: every length-carrying varint
+// (record count, method length, argument count and sizes) is validated
+// against the bytes actually remaining before it is converted to an
+// int or used to size an allocation, and record kinds outside the
+// JournalKind range are rejected.
 func Unmarshal(b []byte) (*Log, error) {
 	l := NewLog()
 	n, k := binary.Uvarint(b)
 	if k <= 0 {
 		return nil, fmt.Errorf("wal: bad record count")
+	}
+	// Every record costs at least 5 bytes (kind, two 1-byte varints,
+	// two flag bytes); a count the input cannot possibly hold is
+	// corruption, caught before the record loop allocates anything.
+	if n > uint64(len(b)-k)/5+1 {
+		return nil, fmt.Errorf("wal: record count %d exceeds input size %d", n, len(b))
 	}
 	p := k
 	next := func() (uint64, error) {
@@ -125,6 +136,9 @@ func Unmarshal(b []byte) (*Log, error) {
 		}
 		var r core.JournalRecord
 		r.Kind = core.JournalKind(b[p])
+		if r.Kind > core.JRootCommit {
+			return nil, fmt.Errorf("wal: record %d has invalid kind %d", i, b[p])
+		}
 		p++
 		node, err := next()
 		if err != nil {
@@ -156,7 +170,10 @@ func Unmarshal(b []byte) (*Log, error) {
 			if err != nil {
 				return nil, err
 			}
-			if p+int(mlen) > len(b) {
+			// Compare in uint64 space before converting: a huge mlen
+			// must not overflow the int addition (or the slice bound)
+			// on its way to the range check.
+			if mlen > uint64(len(b)-p) {
 				return nil, fmt.Errorf("wal: truncated method in record %d", i)
 			}
 			method := string(b[p : p+int(mlen)])
@@ -165,13 +182,18 @@ func Unmarshal(b []byte) (*Log, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Each argument takes at least 1 byte; clamping argc to the
+			// remaining input bounds the prealloc below by len(b).
+			if argc > uint64(len(b)-p) {
+				return nil, fmt.Errorf("wal: argument count %d exceeds input in record %d", argc, i)
+			}
 			args := make([]val.V, 0, argc)
 			for j := uint64(0); j < argc; j++ {
 				alen, err := next()
 				if err != nil {
 					return nil, err
 				}
-				if p+int(alen) > len(b) {
+				if alen > uint64(len(b)-p) {
 					return nil, fmt.Errorf("wal: truncated argument in record %d", i)
 				}
 				v, _, err := val.Unmarshal(b[p : p+int(alen)])
@@ -195,10 +217,16 @@ type replayNode struct {
 	parent  *replayNode
 	root    *replayNode
 	depth   int
+	seq     int // begin order in the log; chronology tie-break for losers
 	state   core.State
 	undo    []compat.Invocation
 	pending []compat.Invocation // remaining undo after AbortStart, in application order
 	started bool                // AbortStart seen
+	// childComp counts compensation steps already accounted through a
+	// compensation child's own JSubCommit but not yet matched by this
+	// node's JCompensated record (the two are distinct records, so a
+	// crash can fall between them).
+	childComp int
 }
 
 // Analysis is the outcome of the log analysis pass.
@@ -224,10 +252,12 @@ func Analyze(l *Log) (*Analysis, error) {
 	committed := make(map[uint64]bool)
 	fullyAborted := make(map[uint64]bool)
 
+	seq := 0
 	for _, r := range l.Records() {
 		switch r.Kind {
 		case core.JBeginRoot:
-			n := &replayNode{id: r.Node, state: core.Active}
+			n := &replayNode{id: r.Node, state: core.Active, seq: seq}
+			seq++
 			n.root = n
 			nodes[r.Node] = n
 			roots = append(roots, n)
@@ -236,7 +266,8 @@ func Analyze(l *Log) (*Analysis, error) {
 			if !ok {
 				return nil, fmt.Errorf("wal: begin of %d under unknown parent %d", r.Node, r.Parent)
 			}
-			n := &replayNode{id: r.Node, parent: p, root: p.root, depth: p.depth + 1, state: core.Active}
+			n := &replayNode{id: r.Node, parent: p, root: p.root, depth: p.depth + 1, state: core.Active, seq: seq}
+			seq++
 			nodes[r.Node] = n
 		case core.JSubCommit:
 			n, ok := nodes[r.Node]
@@ -244,12 +275,25 @@ func Analyze(l *Log) (*Analysis, error) {
 				return nil, fmt.Errorf("wal: subcommit of unknown node %d", r.Node)
 			}
 			n.state = core.Committed
-			if n.parent != nil {
-				if r.Splice {
-					n.parent.undo = append(n.parent.undo, n.undo...)
-				} else if r.Inv != nil {
-					n.parent.undo = append(n.parent.undo, *r.Inv)
+			switch p := n.parent; {
+			case p == nil:
+			case p.started:
+				// n is a compensation child completing while p aborts:
+				// its commit consumes the head of p's pending undo
+				// instead of growing p's undo. Accounting it here (and
+				// crediting childComp so the matching JCompensated does
+				// not consume a second entry) closes the window between
+				// the child's subcommit and the parent's JCompensated —
+				// a crash in between must not re-run the compensation.
+				if len(p.pending) == 0 {
+					return nil, fmt.Errorf("wal: compensation subcommit of %d without pending undo on node %d", r.Node, p.id)
 				}
+				p.pending = p.pending[1:]
+				p.childComp++
+			case r.Splice:
+				p.undo = append(p.undo, n.undo...)
+			case r.Inv != nil:
+				p.undo = append(p.undo, *r.Inv)
 			}
 			n.undo = nil
 		case core.JAbortStart:
@@ -266,10 +310,18 @@ func Analyze(l *Log) (*Analysis, error) {
 			n.undo = nil
 		case core.JCompensated:
 			n, ok := nodes[r.Node]
-			if !ok || len(n.pending) == 0 {
-				return nil, fmt.Errorf("wal: compensated record without pending undo on node %d", r.Node)
+			if !ok {
+				return nil, fmt.Errorf("wal: compensated record for unknown node %d", r.Node)
 			}
-			n.pending = n.pending[1:]
+			if n.childComp > 0 {
+				// Already consumed via the compensation child's own
+				// subcommit record above.
+				n.childComp--
+			} else if len(n.pending) == 0 {
+				return nil, fmt.Errorf("wal: compensated record without pending undo on node %d", r.Node)
+			} else {
+				n.pending = n.pending[1:]
+			}
 		case core.JNodeAborted:
 			n, ok := nodes[r.Node]
 			if !ok {
@@ -307,7 +359,17 @@ func Analyze(l *Log) (*Analysis, error) {
 				active = append(active, n)
 			}
 		}
-		sort.Slice(active, func(i, j int) bool { return active[i].depth > active[j].depth })
+		// Deepest first; equal-depth siblings in reverse begin order
+		// (the live engine likewise unwinds the youngest work first).
+		// The seq tie-break also makes the order deterministic — the
+		// nodes map iterates in random order, and sibling inverses
+		// need not commute.
+		sort.Slice(active, func(i, j int) bool {
+			if active[i].depth != active[j].depth {
+				return active[i].depth > active[j].depth
+			}
+			return active[i].seq > active[j].seq
+		})
 		var pend []compat.Invocation
 		for _, n := range active {
 			if n.started {

@@ -1,9 +1,12 @@
 package wal
 
 import (
+	"encoding/binary"
 	"testing"
 
+	"semcc/internal/compat"
 	"semcc/internal/core"
+	"semcc/internal/oid"
 	"semcc/internal/oodb"
 	"semcc/internal/orderentry"
 	"semcc/internal/val"
@@ -256,6 +259,80 @@ func TestUnmarshalErrors(t *testing.T) {
 	for _, b := range [][]byte{nil, {0x01}, {0x02, 0x00}, {0x01, 0x00, 0x00}} {
 		if _, err := Unmarshal(b); err == nil {
 			t.Errorf("Unmarshal(%v) succeeded", b)
+		}
+	}
+}
+
+// TestAnalyzeLoserOrderDeterministic is the regression test for the
+// loser-compensation ordering bug: equal-depth sibling nodes of a
+// loser used to be ordered by Go's random map iteration, so two
+// Analyze runs over the same log could emit their (non-commuting)
+// inverses in different orders. The begin-sequence tie-break must put
+// the youngest sibling's undo first, every time.
+func TestAnalyzeLoserOrderDeterministic(t *testing.T) {
+	invA := compat.Inv(oid.OID{K: oid.Tuple, N: 100}, "UndoA", val.OfInt(1))
+	invB := compat.Inv(oid.OID{K: oid.Tuple, N: 200}, "UndoB", val.OfInt(2))
+
+	// Root 1 with two in-flight children at depth 1: node 2 (older,
+	// holds inverse A via its committed child 4) and node 3 (younger,
+	// holds inverse B via its committed child 5). The crash leaves
+	// 1, 2 and 3 Active.
+	l := NewLog()
+	l.Append(core.JournalRecord{Kind: core.JBeginRoot, Node: 1})
+	l.Append(core.JournalRecord{Kind: core.JBegin, Node: 2, Parent: 1})
+	l.Append(core.JournalRecord{Kind: core.JBegin, Node: 4, Parent: 2})
+	l.Append(core.JournalRecord{Kind: core.JSubCommit, Node: 4, Inv: &invA})
+	l.Append(core.JournalRecord{Kind: core.JBegin, Node: 3, Parent: 1})
+	l.Append(core.JournalRecord{Kind: core.JBegin, Node: 5, Parent: 3})
+	l.Append(core.JournalRecord{Kind: core.JSubCommit, Node: 5, Inv: &invB})
+
+	// UndoB first: node 3 began after node 2, and the engine unwinds
+	// the youngest work first. Repeat to flush out map-order luck.
+	for i := 0; i < 25; i++ {
+		a, err := Analyze(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Losers) != 1 || a.Losers[0].Root != 1 {
+			t.Fatalf("run %d: losers = %+v, want root 1 only", i, a.Losers)
+		}
+		pend := a.Losers[0].Pending
+		if len(pend) != 2 || pend[0].Method != "UndoB" || pend[1].Method != "UndoA" {
+			t.Fatalf("run %d: pending = %v, want [UndoB UndoA]", i, pend)
+		}
+	}
+}
+
+// TestUnmarshalCorruptLengths feeds Unmarshal length fields that are
+// valid varints but lie about the input: each must fail cleanly
+// instead of panicking or allocating unbounded memory.
+func TestUnmarshalCorruptLengths(t *testing.T) {
+	// Helper: the fixed prefix of a single record carrying an
+	// invocation, up to (not including) the method length.
+	invPrefix := func() []byte {
+		b := binary.AppendUvarint(nil, 1)    // record count
+		b = append(b, byte(core.JSubCommit)) // kind
+		b = binary.AppendUvarint(b, 7)       // node
+		b = binary.AppendUvarint(b, 1)       // parent
+		b = append(b, 0)                     // splice
+		b = append(b, 1)                     // has invocation
+		b = append(b, byte(oid.Tuple))       // object kind
+		b = binary.AppendUvarint(b, 9)       // object number
+		return b
+	}
+
+	cases := map[string][]byte{
+		"huge record count":  binary.AppendUvarint(nil, 1<<40),
+		"invalid kind":       append(binary.AppendUvarint(nil, 1), 200),
+		"huge method length": binary.AppendUvarint(invPrefix(), 1<<40),
+		"huge argument count": binary.AppendUvarint(append(
+			binary.AppendUvarint(invPrefix(), 1), 'M'), 1<<40),
+		"huge argument length": binary.AppendUvarint(binary.AppendUvarint(append(
+			binary.AppendUvarint(invPrefix(), 1), 'M'), 1), 1<<40),
+	}
+	for name, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("%s: Unmarshal(%v) succeeded", name, b)
 		}
 	}
 }

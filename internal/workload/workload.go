@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"semcc/internal/core"
+	"semcc/internal/core/trace"
 	"semcc/internal/oodb"
 	"semcc/internal/orderentry"
 	"semcc/internal/val"
@@ -121,6 +122,9 @@ type Config struct {
 	MaxRetries int
 	// Validate runs the conservation invariant check after the run.
 	Validate bool
+	// Tracer, when set, attaches the observability subsystem to the
+	// run's database (semcc-bench's -hot/-trace modes read it back).
+	Tracer *trace.Tracer
 }
 
 // Metrics summarises one workload run.
@@ -151,6 +155,17 @@ func (m Metrics) BlockRate() float64 {
 	return float64(m.Engine.Blocks) / float64(m.Committed)
 }
 
+// CaseMix renders the Fig. 9 conflict-classification shares as
+// "case1/case2/root" percentages (e.g. "62/23/15"), or "-" for a
+// conflict-free run.
+func (m Metrics) CaseMix() string {
+	c1, c2, rw := m.Engine.CaseMix()
+	if c1+c2+rw == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f/%.0f/%.0f", c1*100, c2*100, rw*100)
+}
+
 // Run executes the workload and returns its metrics.
 func Run(cfg Config) (Metrics, error) {
 	if cfg.Mix == nil {
@@ -174,6 +189,7 @@ func Run(cfg Config) (Metrics, error) {
 		Protocol:         cfg.Protocol,
 		NoAncestorRelief: cfg.NoAncestorRelief,
 		LockTable:        cfg.LockTable,
+		Tracer:           cfg.Tracer,
 	})
 	app, err := orderentry.Setup(db, orderentry.Config{
 		Items:         cfg.Items,

@@ -37,6 +37,7 @@ package semcc
 import (
 	"semcc/internal/compat"
 	"semcc/internal/core"
+	"semcc/internal/core/trace"
 	"semcc/internal/oid"
 	"semcc/internal/oodb"
 	"semcc/internal/val"
@@ -123,6 +124,27 @@ var ErrDeadlock = core.ErrDeadlock
 
 // Stats is a snapshot of engine counters.
 type Stats = core.StatsSnapshot
+
+// Tracer is the engine observability subsystem: a structured event
+// trace of concurrency-control decisions plus per-object contention
+// profiling. Attach one via Options.Tracer, switch it on with
+// SetEnabled, and read it back with Snapshot/JSON or through
+// DB.ObservabilityJSON.
+type Tracer = trace.Tracer
+
+// TraceConfig parameterises NewTracer.
+type TraceConfig = trace.Config
+
+// TraceEvent is one structured trace record.
+type TraceEvent = trace.Event
+
+// TraceSnapshot is a copyable view of a Tracer (hot objects, wait
+// histograms, recent events).
+type TraceSnapshot = trace.Snapshot
+
+// NewTracer builds an observability tracer. It starts disabled; a
+// disabled tracer costs one atomic load per engine emission site.
+func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
 
 // OID identifies a database object.
 type OID = oid.OID

@@ -1,6 +1,8 @@
 package semcc_test
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"semcc"
@@ -155,5 +157,75 @@ func TestPublicValueConstructors(t *testing.T) {
 	}
 	if !semcc.Always(semcc.Invocation{}, semcc.Invocation{}) || semcc.Never(semcc.Invocation{}, semcc.Invocation{}) {
 		t.Error("Always/Never wrong")
+	}
+}
+
+// TestObservabilityThroughFacade drives a tracer-attached database
+// through the public façade only: Options.Tracer wiring, live event
+// collection, the DB.ObservabilityJSON snapshot, and tracer disable.
+func TestObservabilityThroughFacade(t *testing.T) {
+	tr := semcc.NewTracer(semcc.TraceConfig{Protocol: "semantic"})
+	tr.SetEnabled(true)
+	db := semcc.Open(semcc.Options{Protocol: semcc.Semantic, Tracer: tr})
+
+	a, err := db.Store().NewAtomic(semcc.Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3; i++ {
+		tx := db.Begin()
+		if err := tx.Put(a, semcc.Int(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := tr.Snapshot(5, 10)
+	if snap.Emitted == 0 {
+		t.Fatal("no trace events collected through the facade")
+	}
+	raw, err := db.ObservabilityJSON(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"kind": "grant"`) {
+		t.Errorf("observability JSON contains no grant event:\n%s", raw)
+	}
+	// The trace section uses symbolic names (write-only diagnostics),
+	// so decode it loosely.
+	var obs struct {
+		Protocol string      `json:"protocol"`
+		Stats    semcc.Stats `json:"stats"`
+		Trace    *struct {
+			Emitted uint64 `json:"events_emitted"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(raw, &obs); err != nil {
+		t.Fatalf("ObservabilityJSON is not valid JSON: %v\n%s", err, raw)
+	}
+	if obs.Protocol != "semantic" {
+		t.Errorf("protocol = %q, want semantic", obs.Protocol)
+	}
+	if obs.Stats.RootsCommitted < 3 {
+		t.Errorf("stats.RootsCommitted = %d, want >= 3", obs.Stats.RootsCommitted)
+	}
+	if obs.Trace == nil || obs.Trace.Emitted != snap.Emitted {
+		t.Errorf("trace snapshot missing or stale in ObservabilityJSON: %+v", obs.Trace)
+	}
+
+	// Disabling stops collection without detaching.
+	tr.SetEnabled(false)
+	before := tr.Snapshot(0, 0).Emitted
+	tx := db.Begin()
+	if err := tx.Put(a, semcc.Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if after := tr.Snapshot(0, 0).Emitted; after != before {
+		t.Errorf("disabled tracer still collecting: %d -> %d", before, after)
 	}
 }
