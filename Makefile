@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench fuzz-regress race-recovery fuzz
+.PHONY: check build test race vet bench bench-store fuzz-regress race-recovery fuzz
 
 # The full gate: what CI (and every PR) must pass. `race` runs the
 # whole suite (including the recovery and crash-point tests) under the
@@ -38,3 +38,12 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The physical-storage-path comparison: sharded object store +
+# partitioned buffer pool vs the single-shard/global-mutex baselines
+# (each benchmark runs both configurations as sub-benchmarks), plus
+# the engine-level parallel method benchmark over the same sweep.
+# Meaningful at GOMAXPROCS >= 4; -cpu forces it on smaller machines.
+bench-store:
+	$(GO) test -run=NONE -bench 'BenchmarkStoreParallel|BenchmarkPool(Fetch|Evict)Parallel' -benchmem -cpu 4 ./internal/objstore ./internal/storage
+	$(GO) test -run=NONE -bench 'BenchmarkMethodInvocationParallelStore' -benchmem -cpu 4 .

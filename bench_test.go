@@ -298,6 +298,58 @@ func BenchmarkMethodInvocationParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkMethodInvocationParallelStore — the same disjoint-object
+// parallel method workload as BenchmarkMethodInvocationParallel, but
+// sweeping the physical storage path: sharded object store +
+// partitioned buffer pool (default) against the single-shard store +
+// global pool baseline. The lock table is striped in both runs, so the
+// gap isolates the storage-layer serialisation points.
+func BenchmarkMethodInvocationParallelStore(b *testing.B) {
+	configs := []struct {
+		name   string
+		shards int
+		pool   semcc.PoolKind
+	}{
+		{"sharded", 0, semcc.PoolPartitioned},
+		{"global", 1, semcc.PoolGlobal},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			db := oodb.Open(oodb.Options{
+				Protocol: core.Semantic, StoreShards: cfg.shards, PoolKind: cfg.pool,
+			})
+			if err := adts.RegisterTypes(db); err != nil {
+				b.Fatal(err)
+			}
+			const nCtrs = 256
+			ctrs := make([]semcc.OID, nCtrs)
+			for i := range ctrs {
+				c, err := adts.NewCounter(db, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctrs[i] = c
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				c := ctrs[int(next.Add(1)-1)%nCtrs]
+				for pb.Next() {
+					tx := db.Begin()
+					if _, err := tx.Call(c, adts.CInc, semcc.Int(1)); err != nil {
+						b.Error(err)
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkConflictTestDepth — cost of the Fig. 9 ancestor-pair
 // search as tree depth grows: a retained conflicting lock whose
 // commutative ancestor sits at increasing depth.

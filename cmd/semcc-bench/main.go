@@ -9,6 +9,8 @@
 //	semcc-bench -exp E1            # one experiment
 //	semcc-bench -quick             # reduced sweeps (used in CI)
 //	semcc-bench -lockmgr=global    # run on the single-mutex lock table
+//	semcc-bench -store=global      # run on the single-shard object store
+//	semcc-bench -pool=global       # run on the single-mutex buffer pool
 //	semcc-bench -hot               # contention profile per protocol:
 //	                               # top-K hottest objects + per-case
 //	                               # wait-time histograms + case mix
@@ -24,6 +26,7 @@ import (
 	"semcc/internal/core"
 	"semcc/internal/core/trace"
 	"semcc/internal/harness"
+	"semcc/internal/storage"
 	"semcc/internal/workload"
 )
 
@@ -31,6 +34,9 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (E1..E6); empty runs all")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	lockmgr := flag.String("lockmgr", "striped", "lock table implementation: striped or global")
+	store := flag.String("store", "sharded", "object store layout: sharded or global (single shard)")
+	storeShards := flag.Int("storeshards", 0, "with -store=sharded: shard count override (0 = default)")
+	pool := flag.String("pool", "partitioned", "buffer pool implementation: partitioned or global")
 	hot := flag.Bool("hot", false, "run the contention profiler instead of the experiment tables")
 	traceN := flag.Int("trace", 0, "with -hot: also print the last N trace events")
 	asJSON := flag.Bool("json", false, "with -hot: print the expvar-style JSON snapshot")
@@ -46,8 +52,25 @@ func main() {
 	}
 	harness.SetLockTable(lt)
 
+	shards := *storeShards
+	switch *store {
+	case "sharded", "":
+		// shards 0 keeps the sharded default (or the explicit override).
+	case "global":
+		shards = 1
+	default:
+		fmt.Fprintf(os.Stderr, "unknown object store layout %q (want sharded or global)\n", *store)
+		os.Exit(2)
+	}
+	pk, err := storage.ParsePoolKind(*pool)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	harness.SetStoreConfig(shards, pk)
+
 	if *hot || *traceN > 0 {
-		if err := runHot(lt, *items, *mpl, *topK, *traceN, *quick, *asJSON); err != nil {
+		if err := runHot(lt, shards, pk, *items, *mpl, *topK, *traceN, *quick, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -84,7 +107,7 @@ func main() {
 // tracer enabled and prints each protocol's contention profile: the
 // topK hottest objects, the per-case wait-time histograms, and the
 // Fig. 9 case-mix ratio.
-func runHot(lt core.LockTableKind, items, mpl, topK, traceN int, quick, asJSON bool) error {
+func runHot(lt core.LockTableKind, shards int, pk storage.PoolKind, items, mpl, topK, traceN int, quick, asJSON bool) error {
 	txPer := 300
 	if quick {
 		txPer = 100
@@ -94,7 +117,8 @@ func runHot(lt core.LockTableKind, items, mpl, topK, traceN int, quick, asJSON b
 		tr.SetEnabled(true)
 		m, err := workload.Run(workload.Config{
 			Protocol: p, Items: items, Clients: mpl, TxPerClient: txPer,
-			Seed: 42, LockTable: lt, Validate: true, Tracer: tr,
+			Seed: 42, LockTable: lt, StoreShards: shards, PoolKind: pk,
+			Validate: true, Tracer: tr,
 		})
 		if err != nil {
 			return fmt.Errorf("hot %s: %w", p, err)

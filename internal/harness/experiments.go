@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"semcc/internal/core"
+	"semcc/internal/storage"
 	"semcc/internal/workload"
 )
 
@@ -24,10 +25,28 @@ var lockTable = core.LockTableStriped
 // reference table).
 func SetLockTable(k core.LockTableKind) { lockTable = k }
 
+// storeShards and poolKind are the physical-storage configuration
+// every experiment point runs with; semcc-bench's -store and -pool
+// flags override them (ablation: sharded store / partitioned pool vs
+// the global baselines).
+var (
+	storeShards = 0 // 0 = sharded default; 1 = single-shard baseline
+	poolKind    = storage.PoolPartitioned
+)
+
+// SetStoreConfig selects the object-store shard count and buffer-pool
+// implementation for subsequent experiment runs.
+func SetStoreConfig(shards int, pool storage.PoolKind) {
+	storeShards = shards
+	poolKind = pool
+}
+
 // runPoint executes one workload configuration and renders its row.
 func runPoint(cfg workload.Config) (workload.Metrics, error) {
 	cfg.Validate = true
 	cfg.LockTable = lockTable
+	cfg.StoreShards = storeShards
+	cfg.PoolKind = poolKind
 	return workload.Run(cfg)
 }
 

@@ -10,6 +10,15 @@
 // structural operations are versioned through the same concurrency
 // control layer as atomic accesses.
 //
+// The store is sharded: each shard owns a disjoint slice of the
+// atoms/tuples/sets directories, its own OID allocation stride, and
+// its own RecordStore over the shared buffer pool. An OID's shard is a
+// pure function of the OID, so every single-object operation locks
+// exactly one shard; set scans snapshot one shard and sort outside the
+// lock. A single-shard configuration (Config.Shards = 1) reproduces
+// the pre-sharding global store and is kept as the ablation baseline,
+// mirroring the striped-vs-global lock table (DESIGN.md §3.9).
+//
 // The store itself provides only *physical* operations and
 // latch-level safety. Transactional isolation is implemented above it
 // by internal/core.
@@ -17,9 +26,11 @@ package objstore
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"semcc/internal/oid"
 	"semcc/internal/storage"
@@ -45,31 +56,102 @@ type setObj struct {
 	members map[string]SetEntry // canonical key string -> entry
 }
 
-// Store is the object store. All methods are safe for concurrent use.
-type Store struct {
+// shard owns one stripe of the object directories. All fields behind
+// mu; next is atomic so OID allocation never waits on directory
+// traffic in other shards.
+type shard struct {
 	mu      sync.RWMutex
-	gen     *oid.Generator
 	records *storage.RecordStore
 	atoms   map[oid.OID]*atomicObj
 	tuples  map[oid.OID]*tupleObj
 	sets    map[oid.OID]*setObj
+	next    atomic.Uint64 // per-shard OID sequence counter
+}
+
+// Config parameterises NewStore.
+type Config struct {
+	// Shards is the number of store shards (0 = default GOMAXPROCS×4,
+	// rounded up to a power of two; 1 = the single-shard ablation
+	// baseline equivalent to the pre-sharding global store).
+	Shards int
+	// PoolFrames sizes the shared buffer pool; 0 selects a default
+	// large enough for the experiments in this repository.
+	PoolFrames int
+	// PoolKind selects the buffer-pool implementation (partitioned by
+	// default; global single-mutex for ablation).
+	PoolKind storage.PoolKind
+	// PoolPartitions overrides the partitioned pool's partition count
+	// (0 = default).
+	PoolPartitions int
+}
+
+// Store is the object store. All methods are safe for concurrent use.
+type Store struct {
+	pool   storage.BufferPool
+	shards []shard
+	mask   uint64
+	// rr round-robins object creation over shards; under sequential
+	// creation the allocated OID sequence is identical to the old
+	// global generator's (1, 2, 3, …).
+	rr atomic.Uint64
 }
 
 // New returns an empty store backed by a fresh in-memory disk with the
-// given buffer-pool capacity (frames). A capacity of 0 selects a
-// default large enough for the experiments in this repository.
+// given buffer-pool capacity (frames) and default sharding. A capacity
+// of 0 selects a default large enough for the experiments in this
+// repository.
 func New(poolFrames int) *Store {
-	if poolFrames <= 0 {
-		poolFrames = 1024
+	return NewStore(Config{PoolFrames: poolFrames})
+}
+
+// NewStore returns an empty store configured by cfg, backed by a fresh
+// in-memory disk.
+func NewStore(cfg Config) *Store {
+	if cfg.PoolFrames <= 0 {
+		cfg.PoolFrames = 1024
 	}
-	pool := storage.NewPool(storage.NewMemDisk(), poolFrames)
-	return &Store{
-		gen:     oid.NewGenerator(),
-		records: storage.NewRecordStore(pool),
-		atoms:   make(map[oid.OID]*atomicObj),
-		tuples:  make(map[oid.OID]*tupleObj),
-		sets:    make(map[oid.OID]*setObj),
+	n := cfg.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0) * 4
 	}
+	n = ceilPow2(n)
+	pool := storage.NewBufferPool(cfg.PoolKind, storage.NewMemDisk(), cfg.PoolFrames, cfg.PoolPartitions)
+	s := &Store{
+		pool:   pool,
+		shards: make([]shard, n),
+		mask:   uint64(n - 1),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.records = storage.NewRecordStore(pool)
+		sh.atoms = make(map[oid.OID]*atomicObj)
+		sh.tuples = make(map[oid.OID]*tupleObj)
+		sh.sets = make(map[oid.OID]*setObj)
+	}
+	return s
+}
+
+// Shards returns the number of store shards.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// PoolStats reports the shared buffer pool's hit/miss/evict counters.
+func (s *Store) PoolStats() (hits, misses, evicts uint64) { return s.pool.Stats() }
+
+// shardOf returns the shard owning id. OIDs are allocated in strides
+// of len(shards): shard i hands out sequence numbers ≡ i+1 (mod
+// shards), so ownership is derivable from the OID alone and every
+// single-object operation is single-shard.
+func (s *Store) shardOf(id oid.OID) *shard {
+	return &s.shards[(id.N-1)&s.mask]
+}
+
+// alloc picks the next creation shard round-robin and allocates a
+// fresh OID of the given kind from its stride.
+func (s *Store) alloc(k oid.Kind) (*shard, oid.OID) {
+	i := (s.rr.Add(1) - 1) & s.mask
+	sh := &s.shards[i]
+	n := (sh.next.Add(1)-1)*uint64(len(s.shards)) + i + 1
+	return sh, oid.OID{K: k, N: n}
 }
 
 // keyString canonicalises a key value for map lookup.
@@ -77,26 +159,27 @@ func keyString(k val.V) string { return k.String() }
 
 // NewAtomic creates an atomic object with the given initial value.
 func (s *Store) NewAtomic(initial val.V) (oid.OID, error) {
-	rid, err := s.records.Insert(initial.Marshal())
+	sh, id := s.alloc(oid.Atomic)
+	rid, err := sh.records.Insert(initial.Marshal())
 	if err != nil {
 		return oid.Nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.gen.New(oid.Atomic)
-	s.atoms[id] = &atomicObj{rid: rid}
+	sh.mu.Lock()
+	sh.atoms[id] = &atomicObj{rid: rid}
+	sh.mu.Unlock()
 	return id, nil
 }
 
 // ReadAtomic returns the current value of atomic object id.
 func (s *Store) ReadAtomic(id oid.OID) (val.V, error) {
-	s.mu.RLock()
-	a, ok := s.atoms[id]
-	s.mu.RUnlock()
+	sh := s.shardOf(id)
+	sh.mu.RLock()
+	a, ok := sh.atoms[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return val.NullV, fmt.Errorf("objstore: no atomic object %s", id)
 	}
-	raw, err := s.records.Read(a.rid)
+	raw, err := sh.records.Read(a.rid)
 	if err != nil {
 		return val.NullV, err
 	}
@@ -108,22 +191,24 @@ func (s *Store) ReadAtomic(id oid.OID) (val.V, error) {
 // store's RIDs are stable (forwarding stubs), so the object→page
 // mapping used by page-level locking never changes.
 func (s *Store) WriteAtomic(id oid.OID, v val.V) error {
-	s.mu.RLock()
-	a, ok := s.atoms[id]
-	s.mu.RUnlock()
+	sh := s.shardOf(id)
+	sh.mu.RLock()
+	a, ok := sh.atoms[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("objstore: no atomic object %s", id)
 	}
-	_, err := s.records.Update(a.rid, v.Marshal())
+	_, err := sh.records.Update(a.rid, v.Marshal())
 	return err
 }
 
 // PageOf returns the OID of the storage page holding atomic object id.
 // It is the object→page mapping used by the page-level baseline.
 func (s *Store) PageOf(id oid.OID) (oid.OID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.atoms[id]
+	sh := s.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	a, ok := sh.atoms[id]
 	if !ok {
 		return oid.Nil, fmt.Errorf("objstore: no atomic object %s", id)
 	}
@@ -143,18 +228,19 @@ func (s *Store) NewTuple(names []string, comps map[string]oid.OID) (oid.OID, err
 		}
 		t.comps[n] = c
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.gen.New(oid.Tuple)
-	s.tuples[id] = t
+	sh, id := s.alloc(oid.Tuple)
+	sh.mu.Lock()
+	sh.tuples[id] = t
+	sh.mu.Unlock()
 	return id, nil
 }
 
 // TupleGet returns the OID of component name of tuple id.
 func (s *Store) TupleGet(id oid.OID, name string) (oid.OID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tuples[id]
+	sh := s.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	t, ok := sh.tuples[id]
 	if !ok {
 		return oid.Nil, fmt.Errorf("objstore: no tuple object %s", id)
 	}
@@ -168,9 +254,10 @@ func (s *Store) TupleGet(id oid.OID, name string) (oid.OID, error) {
 // TupleComponents returns the component names of tuple id in
 // definition order.
 func (s *Store) TupleComponents(id oid.OID) ([]string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tuples[id]
+	sh := s.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	t, ok := sh.tuples[id]
 	if !ok {
 		return nil, fmt.Errorf("objstore: no tuple object %s", id)
 	}
@@ -179,19 +266,20 @@ func (s *Store) TupleComponents(id oid.OID) ([]string, error) {
 
 // NewSet creates an empty set object.
 func (s *Store) NewSet() (oid.OID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.gen.New(oid.Set)
-	s.sets[id] = &setObj{members: make(map[string]SetEntry)}
+	sh, id := s.alloc(oid.Set)
+	sh.mu.Lock()
+	sh.sets[id] = &setObj{members: make(map[string]SetEntry)}
+	sh.mu.Unlock()
 	return id, nil
 }
 
 // SetInsert adds member under key to set id. Inserting an existing key
 // fails.
 func (s *Store) SetInsert(id oid.OID, key val.V, member oid.OID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	set, ok := s.sets[id]
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	set, ok := sh.sets[id]
 	if !ok {
 		return fmt.Errorf("objstore: no set object %s", id)
 	}
@@ -205,9 +293,10 @@ func (s *Store) SetInsert(id oid.OID, key val.V, member oid.OID) error {
 
 // SetRemove removes the member under key from set id.
 func (s *Store) SetRemove(id oid.OID, key val.V) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	set, ok := s.sets[id]
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	set, ok := sh.sets[id]
 	if !ok {
 		return fmt.Errorf("objstore: no set object %s", id)
 	}
@@ -222,9 +311,10 @@ func (s *Store) SetRemove(id oid.OID, key val.V) error {
 // SetSelect returns the member stored under key, if any. This is the
 // paper's generic Select operation (§2.2).
 func (s *Store) SetSelect(id oid.OID, key val.V) (oid.OID, bool, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	set, ok := s.sets[id]
+	sh := s.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	set, ok := sh.sets[id]
 	if !ok {
 		return oid.Nil, false, fmt.Errorf("objstore: no set object %s", id)
 	}
@@ -236,31 +326,47 @@ func (s *Store) SetSelect(id oid.OID, key val.V) (oid.OID, bool, error) {
 }
 
 // SetScan returns all entries of set id, sorted by canonical key, so
-// scans are deterministic.
+// scans are deterministic. The entries are snapshotted under the
+// shard lock; the O(n log n) sort runs after it is released.
 func (s *Store) SetScan(id oid.OID) ([]SetEntry, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	set, ok := s.sets[id]
+	sh := s.shardOf(id)
+	sh.mu.RLock()
+	set, ok := sh.sets[id]
 	if !ok {
+		sh.mu.RUnlock()
 		return nil, fmt.Errorf("objstore: no set object %s", id)
 	}
 	keys := make([]string, 0, len(set.members))
-	for k := range set.members {
+	entries := make([]SetEntry, 0, len(set.members))
+	for k, e := range set.members {
 		keys = append(keys, k)
+		entries = append(entries, e)
 	}
-	sort.Strings(keys)
-	out := make([]SetEntry, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, set.members[k])
-	}
-	return out, nil
+	sh.mu.RUnlock()
+	sort.Sort(&entrySorter{keys: keys, entries: entries})
+	return entries, nil
+}
+
+// entrySorter sorts entries by their canonical key without
+// re-canonicalising per comparison.
+type entrySorter struct {
+	keys    []string
+	entries []SetEntry
+}
+
+func (es *entrySorter) Len() int           { return len(es.keys) }
+func (es *entrySorter) Less(i, j int) bool { return es.keys[i] < es.keys[j] }
+func (es *entrySorter) Swap(i, j int) {
+	es.keys[i], es.keys[j] = es.keys[j], es.keys[i]
+	es.entries[i], es.entries[j] = es.entries[j], es.entries[i]
 }
 
 // SetLen returns the number of members in set id.
 func (s *Store) SetLen(id oid.OID) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	set, ok := s.sets[id]
+	sh := s.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	set, ok := sh.sets[id]
 	if !ok {
 		return 0, fmt.Errorf("objstore: no set object %s", id)
 	}
@@ -269,14 +375,15 @@ func (s *Store) SetLen(id oid.OID) (int, error) {
 
 // Kind returns the kind of object id, or Invalid if unknown.
 func (s *Store) Kind(id oid.OID) oid.Kind {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	sh := s.shardOf(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	switch {
-	case s.atoms[id] != nil:
+	case sh.atoms[id] != nil:
 		return oid.Atomic
-	case s.tuples[id] != nil:
+	case sh.tuples[id] != nil:
 		return oid.Tuple
-	case s.sets[id] != nil:
+	case sh.sets[id] != nil:
 		return oid.Set
 	default:
 		return oid.Invalid
@@ -293,8 +400,9 @@ func (s *Store) DumpAtom(id oid.OID) string {
 }
 
 // DumpSubgraph renders the object graph rooted at id, one line per
-// object, depth-first with stable ordering. Used by tests that compare
-// database states for serial equivalence.
+// object, depth-first with stable ordering. It visits one object (one
+// shard) at a time, so it never freezes the whole store. Used by tests
+// that compare database states for serial equivalence.
 func (s *Store) DumpSubgraph(id oid.OID) string {
 	var b strings.Builder
 	seen := make(map[oid.OID]bool)
@@ -330,4 +438,13 @@ func (s *Store) dump(b *strings.Builder, id oid.OID, depth int, seen map[oid.OID
 	default:
 		fmt.Fprintf(b, "%s%s <unknown>\n", indent, id)
 	}
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }

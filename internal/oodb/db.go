@@ -10,6 +10,7 @@ import (
 	"semcc/internal/core/trace"
 	"semcc/internal/objstore"
 	"semcc/internal/oid"
+	"semcc/internal/storage"
 	"semcc/internal/val"
 )
 
@@ -23,6 +24,12 @@ type Options struct {
 	Record bool
 	// PoolFrames sizes the storage buffer pool; 0 selects a default.
 	PoolFrames int
+	// StoreShards overrides the object store's shard count (0 =
+	// default GOMAXPROCS×4; 1 = the single-shard ablation baseline).
+	StoreShards int
+	// PoolKind selects the buffer-pool implementation (partitioned by
+	// default; global single-mutex for ablation).
+	PoolKind storage.PoolKind
 	// NoAncestorRelief forwards the experiments' ablation knob: it
 	// disables the Fig. 9 commutative-ancestor cases in the engine.
 	NoAncestorRelief bool
@@ -59,7 +66,11 @@ type DB struct {
 // Open creates an empty database.
 func Open(opts Options) *DB {
 	db := &DB{
-		store: objstore.New(opts.PoolFrames),
+		store: objstore.NewStore(objstore.Config{
+			Shards:     opts.StoreShards,
+			PoolFrames: opts.PoolFrames,
+			PoolKind:   opts.PoolKind,
+		}),
 		reg:   newTypeRegistry(),
 		named: make(map[string]oid.OID),
 	}

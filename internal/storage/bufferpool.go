@@ -7,7 +7,9 @@ import (
 )
 
 // Disk is the backing store for pages. Implementations must be safe
-// for concurrent use.
+// for concurrent use by callers operating on distinct pages; the
+// buffer pool guarantees a page is resident in at most one frame, so
+// it never issues concurrent operations on the same page.
 type Disk interface {
 	// ReadPage fills buf with the contents of page id.
 	ReadPage(id uint32, buf *[PageSize]byte) error
@@ -23,8 +25,12 @@ type Disk interface {
 // paper's protocol is storage-layout agnostic, so an in-memory "disk"
 // preserves all concurrency-control-relevant behaviour (DESIGN.md
 // §3.5) while keeping experiments deterministic.
+//
+// Reads and writes of distinct pages proceed in parallel: the RWMutex
+// only serialises page transfers against Allocate growing the page
+// directory. Per-page exclusion is the buffer pool's job (see Disk).
 type MemDisk struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	pages [][]byte
 }
 
@@ -33,8 +39,8 @@ func NewMemDisk() *MemDisk { return &MemDisk{} }
 
 // ReadPage implements Disk.
 func (d *MemDisk) ReadPage(id uint32, buf *[PageSize]byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) >= len(d.pages) {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
@@ -44,8 +50,8 @@ func (d *MemDisk) ReadPage(id uint32, buf *[PageSize]byte) error {
 
 // WritePage implements Disk.
 func (d *MemDisk) WritePage(id uint32, buf *[PageSize]byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) >= len(d.pages) {
 		return fmt.Errorf("storage: write of unallocated page %d", id)
 	}
@@ -64,9 +70,81 @@ func (d *MemDisk) Allocate() (uint32, error) {
 
 // NumPages implements Disk.
 func (d *MemDisk) NumPages() uint32 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return uint32(len(d.pages))
+}
+
+// BufferPool caches disk pages in pinned frames. Implementations must
+// be safe for concurrent use. Two are provided: the single-mutex Pool
+// (the pre-partitioning reference, kept as an ablation baseline) and
+// the PartitionedPool (the default), mirroring the striped-vs-global
+// split of internal/core/locktable.
+type BufferPool interface {
+	// NewPage allocates a fresh, formatted page, pins it, and returns
+	// it.
+	NewPage() (*Page, error)
+	// Fetch pins page id and returns it, reading from disk on a miss.
+	Fetch(id uint32) (*Page, error)
+	// Unpin releases one pin on page id, marking it dirty if the
+	// caller modified it.
+	Unpin(id uint32, dirty bool) error
+	// FlushAll writes every dirty resident page to disk.
+	FlushAll() error
+	// Stats reports hit/miss/eviction counters.
+	Stats() (hits, misses, evicts uint64)
+}
+
+// PoolKind selects the buffer-pool implementation backing a store.
+type PoolKind uint8
+
+const (
+	// PoolPartitioned hashes pages over independently locked
+	// partitions with per-partition clock replacement, so frame
+	// traffic on distinct pages never contends. The default.
+	PoolPartitioned PoolKind = iota
+	// PoolGlobal guards all frames and one LRU list with a single
+	// mutex — the pre-partitioning reference implementation, kept as
+	// an ablation baseline for the benchmarks.
+	PoolGlobal
+)
+
+// String returns the kind's short name used in flags and benchmarks.
+func (k PoolKind) String() string {
+	switch k {
+	case PoolGlobal:
+		return "global"
+	default:
+		return "partitioned"
+	}
+}
+
+// ParsePoolKind parses a -pool style flag value.
+func ParsePoolKind(s string) (PoolKind, error) {
+	switch s {
+	case "partitioned", "":
+		return PoolPartitioned, nil
+	case "global":
+		return PoolGlobal, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown buffer pool %q (want partitioned or global)", s)
+	}
+}
+
+// PoolKinds lists both buffer-pool implementations in comparison
+// order (benchmarks report both).
+func PoolKinds() []PoolKind {
+	return []PoolKind{PoolPartitioned, PoolGlobal}
+}
+
+// NewBufferPool returns a buffer pool of the given kind and capacity
+// (in frames) over disk. For PoolPartitioned, partitions selects the
+// partition count (0 = default).
+func NewBufferPool(kind PoolKind, disk Disk, capacity, partitions int) BufferPool {
+	if kind == PoolGlobal {
+		return NewPool(disk, capacity)
+	}
+	return NewPartitionedPool(disk, capacity, partitions)
 }
 
 // frame is a buffer-pool slot.
@@ -79,7 +157,9 @@ type frame struct {
 	lruElem *list.Element
 }
 
-// Pool is a buffer pool with LRU replacement of unpinned frames.
+// Pool is a buffer pool with LRU replacement of unpinned frames. One
+// mutex guards every frame and the LRU list; it is the ablation
+// baseline the PartitionedPool is measured against.
 type Pool struct {
 	mu       sync.Mutex
 	disk     Disk
@@ -115,14 +195,16 @@ func (bp *Pool) Stats() (hits, misses, evicts uint64) {
 }
 
 // NewPage allocates a fresh, formatted page, pins it, and returns it.
+// The victim frame is secured before the disk allocation, so a full
+// pool (all frames pinned) fails without leaking a page id.
 func (bp *Pool) NewPage() (*Page, error) {
-	id, err := bp.disk.Allocate()
-	if err != nil {
-		return nil, err
-	}
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	idx, err := bp.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	id, err := bp.disk.Allocate()
 	if err != nil {
 		return nil, err
 	}

@@ -37,7 +37,7 @@ func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
 // job, not this one's.
 type RecordStore struct {
 	mu   sync.Mutex
-	pool *Pool
+	pool BufferPool
 	// pages with known free space, most-recently-inserted first; a
 	// simple free-space heuristic sufficient for the workloads here.
 	openPages []uint32
@@ -47,7 +47,10 @@ type RecordStore struct {
 }
 
 // NewRecordStore returns a RecordStore over the given buffer pool.
-func NewRecordStore(pool *Pool) *RecordStore {
+// Multiple RecordStores may share one pool (the sharded object store
+// gives each shard its own RecordStore over a common pool); page ids
+// come from the pool's disk, so their page sets never overlap.
+func NewRecordStore(pool BufferPool) *RecordStore {
 	return &RecordStore{pool: pool, fwd: make(map[RID]RID)}
 }
 

@@ -18,6 +18,7 @@ import (
 	"semcc/internal/core/trace"
 	"semcc/internal/oodb"
 	"semcc/internal/orderentry"
+	"semcc/internal/storage"
 	"semcc/internal/val"
 )
 
@@ -100,6 +101,12 @@ type Config struct {
 	// LockTable selects the engine's lock-table implementation
 	// (striped by default).
 	LockTable core.LockTableKind
+	// StoreShards overrides the object store's shard count (0 =
+	// default; 1 = the single-shard ablation baseline).
+	StoreShards int
+	// PoolKind selects the buffer-pool implementation (partitioned by
+	// default; global single-mutex for ablation).
+	PoolKind storage.PoolKind
 	// Items is the number of items; contention falls as it grows.
 	Items int
 	// OrdersPerItem sizes each item's pre-created order pool. It must
@@ -189,6 +196,8 @@ func Run(cfg Config) (Metrics, error) {
 		Protocol:         cfg.Protocol,
 		NoAncestorRelief: cfg.NoAncestorRelief,
 		LockTable:        cfg.LockTable,
+		StoreShards:      cfg.StoreShards,
+		PoolKind:         cfg.PoolKind,
 		Tracer:           cfg.Tracer,
 	})
 	app, err := orderentry.Setup(db, orderentry.Config{

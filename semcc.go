@@ -40,6 +40,7 @@ import (
 	"semcc/internal/core/trace"
 	"semcc/internal/oid"
 	"semcc/internal/oodb"
+	"semcc/internal/storage"
 	"semcc/internal/val"
 )
 
@@ -117,6 +118,24 @@ const (
 // LockTables lists both lock-table implementations in comparison
 // order.
 func LockTables() []LockTableKind { return core.LockTables() }
+
+// PoolKind selects the storage buffer-pool implementation (see
+// Options.PoolKind).
+type PoolKind = storage.PoolKind
+
+// The implemented buffer pools. Partitioned is the default; Global is
+// the single-mutex reference pool kept as an ablation baseline.
+const (
+	// PoolPartitioned hashes pages over independently locked
+	// partitions with per-partition clock replacement.
+	PoolPartitioned = storage.PoolPartitioned
+	// PoolGlobal serialises all frame accesses on one mutex.
+	PoolGlobal = storage.PoolGlobal
+)
+
+// PoolKinds lists both buffer-pool implementations in comparison
+// order.
+func PoolKinds() []PoolKind { return storage.PoolKinds() }
 
 // ErrDeadlock is returned by operations of a transaction chosen as a
 // deadlock victim; abort the transaction and retry it.
