@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-store fuzz-regress race-recovery fuzz
+.PHONY: check build test race vet bench bench-store bench-obs fuzz-regress race-recovery fuzz
 
 # The full gate: what CI (and every PR) must pass. `race` runs the
 # whole suite (including the recovery and crash-point tests) under the
@@ -19,8 +19,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The harness package replays every experiment's quick sweep under the
+# race detector, which sits near go test's default 10-minute package
+# timeout on slower machines; raise it rather than trim coverage.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 25m ./...
 
 # Focused, -short-gated race run of the journaling/recovery surface —
 # the quick iteration loop when touching engine commit/abort paths or
@@ -47,3 +50,11 @@ bench:
 bench-store:
 	$(GO) test -run=NONE -bench 'BenchmarkStoreParallel|BenchmarkPool(Fetch|Evict)Parallel' -benchmem -cpu 4 ./internal/objstore ./internal/storage
 	$(GO) test -run=NONE -bench 'BenchmarkMethodInvocationParallelStore' -benchmem -cpu 4 .
+
+# The observability cost contract: the disjoint-atom transaction cycle
+# with no Obs / disabled Obs / enabled Obs (and the tracer's analogue),
+# plus the per-site disabled-gate micro-benchmarks. none vs disabled
+# is the regression to watch; the disabled path must stay at a few
+# ns/op with zero allocations.
+bench-obs:
+	$(GO) test -run=NONE -bench 'Overhead|DisabledSite' -benchmem -cpu 4 . ./internal/obs

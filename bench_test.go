@@ -258,6 +258,52 @@ func BenchmarkTracerOverheadParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOverheadParallel — the span-layer analogue of
+// BenchmarkTracerOverheadParallel: the same disjoint-atom parallel
+// cycle with no Obs (the DB's private disabled handle), with an Obs
+// attached but disabled (one nil check plus one atomic load per
+// site), and with it enabled (full span trees plus gated histograms).
+// none vs disabled is the regression the acceptance criterion bounds.
+func BenchmarkObsOverheadParallel(b *testing.B) {
+	for _, mode := range []string{"none", "disabled", "enabled"} {
+		b.Run(mode, func(b *testing.B) {
+			var o *semcc.Obs
+			if mode != "none" {
+				o = semcc.NewObs(semcc.ObsConfig{})
+				o.SetEnabled(mode == "enabled")
+			}
+			db := oodb.Open(oodb.Options{Protocol: core.Semantic, Obs: o})
+			const nAtoms = 512
+			atoms := make([]semcc.OID, nAtoms)
+			for i := range atoms {
+				a, err := db.Store().NewAtomic(semcc.Int(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				atoms[i] = a
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				a := atoms[int(next.Add(1)-1)%nAtoms]
+				var i int64
+				for pb.Next() {
+					tx := db.Begin()
+					if err := tx.Put(a, semcc.Int(i)); err != nil {
+						b.Error(err)
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkMethodInvocationParallel — parallel variant of
 // BenchmarkMethodInvocation over disjoint objects: each worker drives
 // method invocations (Counter.Inc: method lock + leaf write) on its own

@@ -16,16 +16,24 @@
 //	                               # wait-time histograms + case mix
 //	semcc-bench -hot -trace 20     # ... plus the last 20 trace events
 //	semcc-bench -hot -json         # ... as an expvar-style JSON snapshot
+//	semcc-bench -serve :8080       # live observability endpoint while the
+//	                               # experiments run (Prometheus text at
+//	                               # /metrics, JSON at /json, slow spans
+//	                               # at /slow, pprof at /debug/pprof/),
+//	                               # kept up after the run until ^C
+//	semcc-bench -serve :8080 -slowms 5  # log span trees of roots >= 5ms
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"semcc/internal/core"
 	"semcc/internal/core/trace"
 	"semcc/internal/harness"
+	"semcc/internal/obs"
 	"semcc/internal/storage"
 	"semcc/internal/workload"
 )
@@ -43,6 +51,8 @@ func main() {
 	topK := flag.Int("topk", 10, "with -hot: number of hottest objects to report")
 	items := flag.Int("items", 4, "with -hot: number of items (contention falls as it grows)")
 	mpl := flag.Int("mpl", 16, "with -hot: multiprogramming level")
+	serve := flag.String("serve", "", "address for the live observability endpoint (e.g. :8080); keeps serving after the run")
+	slowms := flag.Int("slowms", 0, "with -serve: log span trees of root transactions taking >= this many milliseconds")
 	flag.Parse()
 
 	lt, err := core.ParseLockTable(*lockmgr)
@@ -69,10 +79,31 @@ func main() {
 	}
 	harness.SetStoreConfig(shards, pk)
 
-	if *hot || *traceN > 0 {
-		if err := runHot(lt, shards, pk, *items, *mpl, *topK, *traceN, *quick, *asJSON); err != nil {
+	var served *obs.Obs
+	if *serve != "" {
+		served = obs.New(obs.Config{
+			SlowSpan: time.Duration(*slowms) * time.Millisecond,
+			SlowLog:  os.Stderr,
+		})
+		served.SetEnabled(true)
+		harness.SetObs(served)
+		srv, err := served.Serve(*serve)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observability: http://%s/ (metrics, json, slow, debug/pprof)\n", srv.Addr())
+	}
+
+	if *hot || *traceN > 0 {
+		if err := runHot(lt, shards, pk, *items, *mpl, *topK, *traceN, *quick, *asJSON, served); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if served != nil {
+			fmt.Fprintln(os.Stderr, "profile done; observability endpoint still serving (^C to exit)")
+			select {}
 		}
 		return
 	}
@@ -101,13 +132,17 @@ func main() {
 			fmt.Println(t)
 		}
 	}
+	if served != nil {
+		fmt.Fprintln(os.Stderr, "experiments done; observability endpoint still serving (^C to exit)")
+		select {}
+	}
 }
 
 // runHot executes one contended workload point per protocol with the
 // tracer enabled and prints each protocol's contention profile: the
 // topK hottest objects, the per-case wait-time histograms, and the
 // Fig. 9 case-mix ratio.
-func runHot(lt core.LockTableKind, shards int, pk storage.PoolKind, items, mpl, topK, traceN int, quick, asJSON bool) error {
+func runHot(lt core.LockTableKind, shards int, pk storage.PoolKind, items, mpl, topK, traceN int, quick, asJSON bool, o *obs.Obs) error {
 	txPer := 300
 	if quick {
 		txPer = 100
@@ -118,7 +153,7 @@ func runHot(lt core.LockTableKind, shards int, pk storage.PoolKind, items, mpl, 
 		m, err := workload.Run(workload.Config{
 			Protocol: p, Items: items, Clients: mpl, TxPerClient: txPer,
 			Seed: 42, LockTable: lt, StoreShards: shards, PoolKind: pk,
-			Validate: true, Tracer: tr,
+			Validate: true, Tracer: tr, Obs: o,
 		})
 		if err != nil {
 			return fmt.Errorf("hot %s: %w", p, err)

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"semcc/internal/compat"
 	"semcc/internal/core/locktable"
 	"semcc/internal/core/trace"
 	"semcc/internal/core/waitgraph"
 	"semcc/internal/history"
+	"semcc/internal/obs"
 	"semcc/internal/oid"
 )
 
@@ -102,6 +104,12 @@ type Config struct {
 	// (internal/core/trace). A disabled tracer costs one atomic load
 	// per emission site; nil costs a pointer check.
 	Tracer *trace.Tracer
+	// Obs, when set, hosts the engine's registry metrics (the striped
+	// Stats counters, read at exposition time) and, while enabled,
+	// records per-transaction span trees. Same cost contract as the
+	// tracer: disabled is one atomic load per site, nil a pointer
+	// check.
+	Obs *obs.Obs
 	// Hooks are optional test callbacks.
 	Hooks Hooks
 }
@@ -125,6 +133,7 @@ type Engine struct {
 	record  bool
 	journal Journal
 	tr      *trace.Tracer
+	spans   *obs.SpanRecorder // nil when no Obs is attached
 
 	// exec runs a compensating invocation as a child of the given
 	// node; installed by the OODB layer (which owns method bodies).
@@ -165,7 +174,7 @@ func New(cfg Config) *Engine {
 		stats:    stats,
 		tr:       cfg.Tracer,
 	}
-	return &Engine{
+	e := &Engine{
 		kind:    cfg.Kind,
 		table:   cfg.Table,
 		record:  cfg.Record,
@@ -174,6 +183,11 @@ func New(cfg Config) *Engine {
 		lm:      lm,
 		stats:   stats,
 	}
+	if cfg.Obs != nil {
+		e.spans = cfg.Obs.Spans
+		stats.register(cfg.Obs.Registry)
+	}
+	return e
 }
 
 // Kind returns the protocol the engine runs.
@@ -192,6 +206,20 @@ func (e *Engine) SetExec(f func(parent *Tx, inv compat.Invocation) error) { e.ex
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() StatsSnapshot { return e.stats.Snapshot() }
+
+// journalAppend appends rec, charging the append's wall-clock time to
+// t's span when span collection is on. Call only when e.journal is
+// non-nil; the write-ahead-ordering comments at the call sites govern
+// *where* in each transition the append happens.
+func (e *Engine) journalAppend(t *Tx, rec JournalRecord) {
+	if sp := t.span; sp != nil {
+		start := time.Now()
+		e.journal.Append(rec)
+		sp.AddWAL(uint64(time.Since(start)))
+		return
+	}
+	e.journal.Append(rec)
+}
 
 // Tracer returns the attached observability tracer (nil when none was
 // configured).
@@ -214,8 +242,12 @@ func (e *Engine) BeginRoot() *Tx {
 		e.recMu.Unlock()
 	}
 	e.stats.bump(int(t.id), cRootsStarted)
+	// The span (if collection is on) exists before the first journal
+	// append so every cost of the root — including this begin record —
+	// lands on it.
+	t.span = e.spans.BeginRoot(t.id, "root")
 	if e.journal != nil {
-		e.journal.Append(JournalRecord{Kind: JBeginRoot, Node: t.id})
+		e.journalAppend(t, JournalRecord{Kind: JBeginRoot, Node: t.id})
 	}
 	return t
 }
@@ -245,6 +277,9 @@ func (e *Engine) BeginChild(parent *Tx, inv compat.Invocation) (*Tx, error) {
 	parent.children = append(parent.children, t)
 	parent.root.treeMu.Unlock()
 	e.stats.bump(int(t.root.id), cSubtxs)
+	// Child spans hang off the parent's span (nil propagates), created
+	// before lock acquisition so lock waits charge to this node.
+	t.span = parent.span.NewChild(t.id, inv.String())
 
 	lockInv, need := e.lm.LockFor(inv)
 	if need {
@@ -254,11 +289,12 @@ func (e *Engine) BeginChild(parent *Tx, inv compat.Invocation) (*Tx, error) {
 				t.endSeq = e.seq.Add(1)
 				close(t.done)
 			}
+			t.span.Finish(obs.OutcomeAborted)
 			return t, err
 		}
 	}
 	if e.journal != nil {
-		e.journal.Append(JournalRecord{Kind: JBegin, Node: t.id, Parent: parent.id, Inv: &inv})
+		e.journalAppend(t, JournalRecord{Kind: JBegin, Node: t.id, Parent: parent.id, Inv: &inv})
 	}
 	return t, nil
 }
@@ -294,7 +330,7 @@ func (e *Engine) CompleteChild(t *Tx, inverse *compat.Invocation) error {
 	// journal knows nothing about, which undo-based recovery can never
 	// fix.
 	if e.journal != nil {
-		e.journal.Append(JournalRecord{Kind: JSubCommit, Node: t.id, Inv: inverse, Splice: inverse == nil})
+		e.journalAppend(t, JournalRecord{Kind: JSubCommit, Node: t.id, Inv: inverse, Splice: inverse == nil})
 	}
 
 	// Lock disposition at subcommit, while t is still Active — so no
@@ -306,6 +342,7 @@ func (e *Engine) CompleteChild(t *Tx, inverse *compat.Invocation) error {
 	t.setState(Committed)
 	t.endSeq = e.seq.Add(1)
 	close(t.done)
+	t.span.Finish(obs.OutcomeCommitted)
 	return nil
 }
 
@@ -328,7 +365,7 @@ func (e *Engine) CommitRoot(t *Tx) error {
 	// observable (state transition, lock release, waiter wake-up), so
 	// a crash cannot leave winners the journal still lists as losers.
 	if e.journal != nil {
-		e.journal.Append(JournalRecord{Kind: JRootCommit, Node: t.id})
+		e.journalAppend(t, JournalRecord{Kind: JRootCommit, Node: t.id})
 	}
 	t.setState(Committed)
 	t.endSeq = e.seq.Add(1)
@@ -343,6 +380,7 @@ func (e *Engine) CommitRoot(t *Tx) error {
 	e.lm.ReleaseTree(t)
 	close(t.done)
 	e.stats.bump(int(t.id), cRootsCommitted)
+	e.spans.FinishRoot(t.span, obs.OutcomeCommitted)
 	return nil
 }
 
@@ -377,7 +415,7 @@ func (e *Engine) abortNode(t *Tx) error {
 	t.undo = nil
 	t.compensating = true
 	if e.journal != nil {
-		e.journal.Append(JournalRecord{Kind: JAbortStart, Node: t.id})
+		e.journalAppend(t, JournalRecord{Kind: JAbortStart, Node: t.id})
 	}
 
 	// Compensate committed work in reverse chronological order. The
@@ -395,11 +433,12 @@ func (e *Engine) abortNode(t *Tx) error {
 			firstErr = fmt.Errorf("core: compensation %s failed: %w", undo[i], err)
 		}
 		if err == nil && e.journal != nil {
-			e.journal.Append(JournalRecord{Kind: JCompensated, Node: t.id})
+			e.journalAppend(t, JournalRecord{Kind: JCompensated, Node: t.id})
 		}
 		if e.tr.On() {
 			e.tr.Emit(int(t.root.id), trace.Event{Kind: trace.KComp, Node: t.id, Root: t.root.id, Obj: undo[i].Object})
 		}
+		t.span.AddComp(1)
 		e.stats.bump(int(t.root.id), cCompensations)
 	}
 
@@ -408,16 +447,24 @@ func (e *Engine) abortNode(t *Tx) error {
 	// Aborted, locks released) — a crash in between re-runs an empty
 	// pending list, never un-aborts the tree.
 	if firstErr == nil && e.journal != nil {
-		e.journal.Append(JournalRecord{Kind: JNodeAborted, Node: t.id})
+		e.journalAppend(t, JournalRecord{Kind: JNodeAborted, Node: t.id})
 	}
 	t.eachNode(func(n *Tx) {
 		if n.State() == Active {
 			n.setState(Aborted)
 			n.endSeq = e.seq.Add(1)
 			close(n.done)
+			if n != t {
+				n.span.Finish(obs.OutcomeAborted)
+			}
 		}
 	})
 	e.lm.ReleaseTree(t)
+	if t.IsRoot() {
+		e.spans.FinishRoot(t.span, obs.OutcomeAborted)
+	} else {
+		t.span.Finish(obs.OutcomeAborted)
+	}
 	return firstErr
 }
 

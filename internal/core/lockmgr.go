@@ -11,6 +11,7 @@ import (
 	"semcc/internal/core/locktable"
 	"semcc/internal/core/trace"
 	"semcc/internal/core/waitgraph"
+	"semcc/internal/obs"
 	"semcc/internal/oid"
 )
 
@@ -97,11 +98,23 @@ type lockMgr struct {
 	tr    *trace.Tracer
 }
 
+// obsCause maps a trace wait cause to the span layer's classification.
+func obsCause(c trace.Cause) obs.WaitCause {
+	switch c {
+	case trace.CauseCase2:
+		return obs.WaitCase2
+	case trace.CauseRoot:
+		return obs.WaitRoot
+	default:
+		return obs.WaitOther
+	}
+}
+
 // classifyWaits maps a waits-for set to its trace cause and a
 // representative peer: any root target means the request waits for a
 // top-level commit (the Fig. 9 worst case); otherwise every target is
 // a subtransaction whose subcommit will release the request (case 2).
-// Only called when tracing is enabled.
+// Only called when tracing or span collection is enabled.
 func classifyWaits(waits []*Tx) (trace.Cause, uint64) {
 	cause := trace.CauseCase2
 	peer := uint64(0)
@@ -214,6 +227,7 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			} else {
 				waited := uint64(time.Since(blockedAt))
 				m.stats.add(stripe, cWaitNanos, waited)
+				t.span.AddLockWait(obsCause(blockCause), waited)
 				if m.tr.On() {
 					m.tr.Emit(stripe, trace.Event{Kind: trace.KGrant, Cause: blockCause, Node: t.id, Root: t.root.id, Obj: obj, Nanos: waited})
 				}
@@ -224,10 +238,12 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			first = false
 			blockedAt = time.Now()
 			m.stats.bump(stripe, cBlocks)
-			if m.tr.On() {
+			if m.tr.On() || t.span != nil {
 				cause, peer := classifyWaits(waits)
 				blockCause = cause
-				m.tr.Emit(stripe, trace.Event{Kind: trace.KBlock, Cause: cause, Node: t.id, Root: t.root.id, Obj: obj, Peer: peer})
+				if m.tr.On() {
+					m.tr.Emit(stripe, trace.Event{Kind: trace.KBlock, Cause: cause, Node: t.id, Root: t.root.id, Obj: obj, Peer: peer})
+				}
 			}
 		}
 		// Install the wait edges and look for a cycle — atomically,
@@ -242,6 +258,7 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 		} else if m.wfg.AddAndCheck(t.id, t.root.id, targets) {
 			m.dequeue(l)
 			m.stats.bump(stripe, cDeadlocks)
+			t.span.AddLockWait(obsCause(blockCause), uint64(time.Since(blockedAt)))
 			if m.tr.On() {
 				m.tr.Emit(stripe, trace.Event{Kind: trace.KDeadlock, Cause: blockCause, Node: t.id, Root: t.root.id, Obj: obj})
 			}
@@ -267,6 +284,7 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			m.wfg.Clear(t.id)
 			m.dequeue(l)
 			m.stats.bump(stripe, cDeadlocks)
+			t.span.AddLockWait(obsCause(blockCause), uint64(time.Since(blockedAt)))
 			if m.tr.On() {
 				m.tr.Emit(stripe, trace.Event{Kind: trace.KDeadlock, Cause: blockCause, Node: t.id, Root: t.root.id, Obj: obj})
 			}
@@ -287,6 +305,7 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			m.stats.bump(stripe, cForcedGrants)
 			waited := uint64(time.Since(blockedAt))
 			m.stats.add(stripe, cWaitNanos, waited)
+			t.span.AddLockWait(obsCause(blockCause), waited)
 			if m.tr.On() {
 				m.tr.Emit(stripe, trace.Event{Kind: trace.KForce, Cause: blockCause, Node: t.id, Root: t.root.id, Obj: obj, Nanos: waited})
 			}
@@ -378,9 +397,12 @@ func (m *lockMgr) Retain(t *Tx) {
 	case Semantic:
 		// Retained: nothing to do — retention is derived from the
 		// owner's Committed state (paper §4.1).
-		if m.tr.On() && len(t.locks) > 0 {
-			o := t.locks[0].inv.Object
-			m.tr.Emit(m.tbl.ShardOf(o), trace.Event{Kind: trace.KRetain, Node: t.id, Root: t.root.id, Obj: o})
+		if len(t.locks) > 0 {
+			m.stats.bump(int(t.root.id), cRetains)
+			if m.tr.On() {
+				o := t.locks[0].inv.Object
+				m.tr.Emit(m.tbl.ShardOf(o), trace.Event{Kind: trace.KRetain, Node: t.id, Root: t.root.id, Obj: o})
+			}
 		}
 	case OpenNoRetain:
 		// Paper §3: the locks of the actions *in* the subtransaction

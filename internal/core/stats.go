@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"semcc/internal/obs"
+)
 
 // statCounter indexes one engine counter within a stats stripe.
 type statCounter int
@@ -20,6 +24,7 @@ const (
 	cDeadlocks
 	cCompensations
 	cForcedGrants
+	cRetains
 	cWaitNanos
 	numStatCounters
 )
@@ -31,12 +36,11 @@ const (
 // probability.
 const statStripes = 64
 
-// statStripe is one cache-padded block of counters. 15 counters × 8
-// bytes = 120; the pad rounds the stripe to two full cache lines so
-// neighbouring stripes never false-share.
+// statStripe is one cache-padded block of counters. 16 counters × 8
+// bytes fill exactly two cache lines, so neighbouring stripes never
+// false-share.
 type statStripe struct {
 	c [numStatCounters]atomic.Uint64
-	_ [8]byte
 }
 
 // Stats aggregates engine-level concurrency-control counters. All
@@ -75,6 +79,7 @@ type StatsSnapshot struct {
 	Deadlocks     uint64 // deadlock victims
 	Compensations uint64 // inverse invocations executed during aborts
 	ForcedGrants  uint64 // compensation force-grants (all-compensator cycles)
+	Retains       uint64 // subcommits that converted locks to retained (semantic protocol)
 
 	// WaitNanos accumulates wall-clock time lock requests spent
 	// blocked (summed over requests).
@@ -111,6 +116,47 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Case1Grants: tot[cCase1Grants], Case2Waits: tot[cCase2Waits],
 		RootWaits: tot[cRootWaits], Deadlocks: tot[cDeadlocks],
 		Compensations: tot[cCompensations], ForcedGrants: tot[cForcedGrants],
-		WaitNanos: tot[cWaitNanos],
+		Retains: tot[cRetains], WaitNanos: tot[cWaitNanos],
+	}
+}
+
+// total sums one counter across the stripes.
+func (s *Stats) total(c statCounter) uint64 {
+	var t uint64
+	for i := range s.stripes {
+		t += s.stripes[i].c[c].Load()
+	}
+	return t
+}
+
+// register exposes every engine counter as a func-backed registry
+// metric: the hot path keeps writing the striped atomics it already
+// writes, and the registry reads them only at exposition time.
+func (s *Stats) register(r *obs.Registry) {
+	defs := []struct {
+		c    statCounter
+		name string
+		help string
+	}{
+		{cRootsStarted, "semcc_engine_roots_started_total", "Top-level transactions begun."},
+		{cRootsCommitted, "semcc_engine_roots_committed_total", "Top-level transactions committed."},
+		{cRootsAborted, "semcc_engine_roots_aborted_total", "Top-level transactions aborted."},
+		{cSubtxs, "semcc_engine_subtxs_total", "Subtransactions (non-root nodes) begun."},
+		{cLockRequests, "semcc_engine_lock_requests_total", "Lock acquisitions attempted."},
+		{cImmediateGrants, "semcc_engine_immediate_grants_total", "Lock requests granted without waiting."},
+		{cBlocks, "semcc_engine_blocks_total", "Lock requests that waited at least once."},
+		{cWaitEvents, "semcc_engine_wait_events_total", "Individual waits-for targets waited on."},
+		{cCase1Grants, "semcc_engine_case1_grants_total", "Fig. 9 case-1 pseudo-conflict grants (committed commutative ancestor)."},
+		{cCase2Waits, "semcc_engine_case2_waits_total", "Fig. 9 case-2 waits for a commutative ancestor's subcommit."},
+		{cRootWaits, "semcc_engine_root_waits_total", "Worst-case waits for a top-level commit."},
+		{cDeadlocks, "semcc_engine_deadlocks_total", "Deadlock victims."},
+		{cCompensations, "semcc_engine_compensations_total", "Compensating inverse invocations executed during aborts."},
+		{cForcedGrants, "semcc_engine_forced_grants_total", "Compensation force-grants (all-compensator cycles)."},
+		{cRetains, "semcc_engine_retains_total", "Subcommits that converted locks to retained (semantic protocol)."},
+		{cWaitNanos, "semcc_engine_lock_wait_ns_total", "Wall-clock nanoseconds lock requests spent blocked."},
+	}
+	for _, d := range defs {
+		c := d.c
+		r.CounterFunc(d.name, d.help, func() uint64 { return s.total(c) })
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"semcc/internal/obs"
 	"semcc/internal/oid"
 )
 
@@ -175,14 +176,6 @@ type stripe struct {
 	_ [32]byte
 }
 
-// hist is a log₂-bucketed duration histogram: bucket i counts
-// durations n with bits.Len64(n) == i, i.e. n ∈ [2^(i-1), 2^i).
-type hist struct {
-	b [65]atomic.Uint64
-}
-
-func (h *hist) observe(nanos uint64) { h.b[bits.Len64(nanos)].Add(1) }
-
 // Tracer collects trace events and contention profiles for one engine.
 // A nil *Tracer is valid and permanently off; all methods are
 // nil-safe.
@@ -192,8 +185,10 @@ type Tracer struct {
 	mask     uint64
 	enabled  atomic.Bool
 	seq      atomic.Uint64
-	hists    [numCauses]hist
-	stripes  []stripe
+	// hists are the per-cause wait-duration histograms (the shared
+	// log₂ implementation from internal/obs).
+	hists   [numCauses]obs.Hist
+	stripes []stripe
 }
 
 // New returns a Tracer. It starts disabled; call SetEnabled(true) to
@@ -254,7 +249,7 @@ func (t *Tracer) Emit(stripeIdx int, ev Event) {
 	}
 	ev.Seq = t.seq.Add(1)
 	if ev.Nanos > 0 && (ev.Kind == KGrant || ev.Kind == KForce) {
-		t.hists[ev.Cause%numCauses].observe(ev.Nanos)
+		t.hists[ev.Cause%numCauses].Observe(ev.Nanos)
 	}
 	s := &t.stripes[uint64(stripeIdx)&t.mask]
 	s.mu.Lock()
@@ -363,18 +358,9 @@ func (t *Tracer) Snapshot(topK, recent int) *Snapshot {
 
 	for c := Cause(0); c < numCauses; c++ {
 		ch := CauseHist{Cause: c.String()}
-		for i := range t.hists[c].b {
-			cnt := t.hists[c].b[i].Load()
-			if cnt == 0 {
-				continue
-			}
-			lo := uint64(0)
-			if i > 0 {
-				lo = 1 << (i - 1)
-			}
-			hi := uint64(1) << i
-			ch.Waits += cnt
-			ch.Buckets = append(ch.Buckets, HistBucket{LoNanos: lo, HiNanos: hi, Count: cnt})
+		for _, bk := range t.hists[c].Buckets() {
+			ch.Waits += bk.Count
+			ch.Buckets = append(ch.Buckets, HistBucket{LoNanos: bk.Lo, HiNanos: bk.Hi, Count: bk.Count})
 		}
 		if ch.Waits > 0 {
 			snap.Hist = append(snap.Hist, ch)

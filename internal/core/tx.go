@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"semcc/internal/compat"
+	"semcc/internal/obs"
 )
 
 // State is the lifecycle state of a transaction node.
@@ -100,6 +101,11 @@ type Tx struct {
 	// abort without compensation, so compensation must drain.
 	// Tree-local (only ever read on the owning tree's paths).
 	compensating bool
+
+	// span is this node's observability span (nil unless the engine's
+	// Obs was enabled when the root began). Tree-local while the tree
+	// runs; published immutably when the root finishes.
+	span *obs.Span
 }
 
 // State returns the node's lifecycle state.
@@ -127,6 +133,11 @@ func (t *Tx) IsRoot() bool { return t.parent == nil }
 
 // Done returns a channel closed when the node commits or aborts.
 func (t *Tx) Done() <-chan struct{} { return t.done }
+
+// Span returns the node's observability span, nil when span collection
+// was off at root begin. Callers may use it unconditionally: all
+// *obs.Span methods are nil-safe.
+func (t *Tx) Span() *obs.Span { return t.span }
 
 // String renders the node for diagnostics.
 func (t *Tx) String() string {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"semcc/internal/core"
+	"semcc/internal/obs"
 	"semcc/internal/storage"
 	"semcc/internal/workload"
 )
@@ -41,12 +42,27 @@ func SetStoreConfig(shards int, pool storage.PoolKind) {
 	poolKind = pool
 }
 
+// sharedObs, when set, is attached to every experiment point's
+// database (semcc-bench's -serve mode: one live endpoint whose
+// metrics accumulate across points). When unset, each point gets its
+// own enabled Obs so the p50/p99 column is always populated.
+var sharedObs *obs.Obs
+
+// SetObs attaches an observability handle to subsequent experiment
+// runs.
+func SetObs(o *obs.Obs) { sharedObs = o }
+
 // runPoint executes one workload configuration and renders its row.
 func runPoint(cfg workload.Config) (workload.Metrics, error) {
 	cfg.Validate = true
 	cfg.LockTable = lockTable
 	cfg.StoreShards = storeShards
 	cfg.PoolKind = poolKind
+	cfg.Obs = sharedObs
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New(obs.Config{})
+		cfg.Obs.SetEnabled(true)
+	}
 	return workload.Run(cfg)
 }
 
@@ -60,6 +76,7 @@ func metricCells(m workload.Metrics) []string {
 		d(m.Engine.Case1Grants),
 		d(m.Engine.Case2Waits),
 		m.CaseMix(),
+		m.LatencyStr(),
 		d(m.Engine.Deadlocks),
 		f1(m.AvgWaitMicros()),
 	}
@@ -67,7 +84,9 @@ func metricCells(m workload.Metrics) []string {
 
 // mix% is the Fig. 9 classification share case1/case2/root — the
 // paper's central quantitative claim, reported per figure row.
-var metricHeader = []string{"tps", "commits", "retries", "blocks/tx", "rootwaits", "case1", "case2", "mix%(1/2/r)", "deadlocks", "wait(µs)"}
+// p50/p99(ms) are root-transaction latency percentiles from the span
+// recorder (internal/obs); "-" when span collection is off.
+var metricHeader = []string{"tps", "commits", "retries", "blocks/tx", "rootwaits", "case1", "case2", "mix%(1/2/r)", "p50/p99(ms)", "deadlocks", "wait(µs)"}
 
 func init() {
 	Register(&Experiment{

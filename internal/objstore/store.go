@@ -28,10 +28,13 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"semcc/internal/obs"
 	"semcc/internal/oid"
 	"semcc/internal/storage"
 	"semcc/internal/val"
@@ -83,6 +86,59 @@ type Config struct {
 	// PoolPartitions overrides the partitioned pool's partition count
 	// (0 = default).
 	PoolPartitions int
+	// Obs, when set, receives the store's metrics: per-shard operation
+	// counters and a scan-latency histogram (gated on the Obs being
+	// enabled), plus the buffer pool's counters (attached here because
+	// the store owns its pool).
+	Obs *obs.Obs
+}
+
+// Store operation indices for the per-shard op counters.
+const (
+	opRead = iota
+	opWrite
+	opInsert
+	opRemove
+	opSelect
+	opScan
+	opAlloc
+	numStoreOps
+)
+
+var storeOpNames = [numStoreOps]string{"read", "write", "insert", "remove", "select", "scan", "alloc"}
+
+// storeObs carries the store's gated metrics: one counter per
+// (shard, op) pair, registered as semcc_store_shard_ops_total
+// {shard=...,op=...}, and the scan-latency histogram.
+type storeObs struct {
+	o      *obs.Obs
+	ops    []*obs.Counter // shard-major: shard*numStoreOps + op
+	scanNs *obs.Hist
+}
+
+func newStoreObs(o *obs.Obs, shards int) *storeObs {
+	m := &storeObs{
+		o:      o,
+		ops:    make([]*obs.Counter, shards*numStoreOps),
+		scanNs: o.Registry.Hist("semcc_store_scan_ns", "Set scan latency (snapshot + sort), nanoseconds."),
+	}
+	for i := 0; i < shards; i++ {
+		for op := 0; op < numStoreOps; op++ {
+			m.ops[i*numStoreOps+op] = o.Registry.Counter(
+				"semcc_store_shard_ops_total", "Object-store operations by shard and kind (while obs is enabled).",
+				obs.L("shard", strconv.Itoa(i)), obs.L("op", storeOpNames[op]))
+		}
+	}
+	return m
+}
+
+func (m *storeObs) on() bool { return m != nil && m.o.On() }
+
+// op counts one operation against the shard owning id's stride slot.
+func (s *Store) op(shardIdx uint64, op int) {
+	if m := s.om; m.on() {
+		m.ops[int(shardIdx)*numStoreOps+op].Inc()
+	}
 }
 
 // Store is the object store. All methods are safe for concurrent use.
@@ -90,6 +146,7 @@ type Store struct {
 	pool   storage.BufferPool
 	shards []shard
 	mask   uint64
+	om     *storeObs
 	// rr round-robins object creation over shards; under sequential
 	// creation the allocated OID sequence is identical to the old
 	// global generator's (1, 2, 3, …).
@@ -121,6 +178,7 @@ func NewStore(cfg Config) *Store {
 		shards: make([]shard, n),
 		mask:   uint64(n - 1),
 	}
+	s.AttachObs(cfg.Obs)
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.records = storage.NewRecordStore(pool)
@@ -133,6 +191,18 @@ func NewStore(cfg Config) *Store {
 
 // Shards returns the number of store shards.
 func (s *Store) Shards() int { return len(s.shards) }
+
+// AttachObs registers the store's (and its buffer pool's) metrics with
+// o. Nil-safe; call at construction or — for a Reopen'd database
+// sharing a surviving store — before the new instance sees concurrent
+// use.
+func (s *Store) AttachObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	s.pool.AttachObs(o)
+	s.om = newStoreObs(o, len(s.shards))
+}
 
 // PoolStats reports the shared buffer pool's hit/miss/evict counters.
 func (s *Store) PoolStats() (hits, misses, evicts uint64) { return s.pool.Stats() }
@@ -151,6 +221,7 @@ func (s *Store) alloc(k oid.Kind) (*shard, oid.OID) {
 	i := (s.rr.Add(1) - 1) & s.mask
 	sh := &s.shards[i]
 	n := (sh.next.Add(1)-1)*uint64(len(s.shards)) + i + 1
+	s.op(i, opAlloc)
 	return sh, oid.OID{K: k, N: n}
 }
 
@@ -172,6 +243,7 @@ func (s *Store) NewAtomic(initial val.V) (oid.OID, error) {
 
 // ReadAtomic returns the current value of atomic object id.
 func (s *Store) ReadAtomic(id oid.OID) (val.V, error) {
+	s.op((id.N-1)&s.mask, opRead)
 	sh := s.shardOf(id)
 	sh.mu.RLock()
 	a, ok := sh.atoms[id]
@@ -191,6 +263,7 @@ func (s *Store) ReadAtomic(id oid.OID) (val.V, error) {
 // store's RIDs are stable (forwarding stubs), so the object→page
 // mapping used by page-level locking never changes.
 func (s *Store) WriteAtomic(id oid.OID, v val.V) error {
+	s.op((id.N-1)&s.mask, opWrite)
 	sh := s.shardOf(id)
 	sh.mu.RLock()
 	a, ok := sh.atoms[id]
@@ -276,6 +349,7 @@ func (s *Store) NewSet() (oid.OID, error) {
 // SetInsert adds member under key to set id. Inserting an existing key
 // fails.
 func (s *Store) SetInsert(id oid.OID, key val.V, member oid.OID) error {
+	s.op((id.N-1)&s.mask, opInsert)
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -293,6 +367,7 @@ func (s *Store) SetInsert(id oid.OID, key val.V, member oid.OID) error {
 
 // SetRemove removes the member under key from set id.
 func (s *Store) SetRemove(id oid.OID, key val.V) error {
+	s.op((id.N-1)&s.mask, opRemove)
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -311,6 +386,7 @@ func (s *Store) SetRemove(id oid.OID, key val.V) error {
 // SetSelect returns the member stored under key, if any. This is the
 // paper's generic Select operation (§2.2).
 func (s *Store) SetSelect(id oid.OID, key val.V) (oid.OID, bool, error) {
+	s.op((id.N-1)&s.mask, opSelect)
 	sh := s.shardOf(id)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -329,6 +405,17 @@ func (s *Store) SetSelect(id oid.OID, key val.V) (oid.OID, bool, error) {
 // scans are deterministic. The entries are snapshotted under the
 // shard lock; the O(n log n) sort runs after it is released.
 func (s *Store) SetScan(id oid.OID) ([]SetEntry, error) {
+	if m := s.om; m.on() {
+		m.ops[int((id.N-1)&s.mask)*numStoreOps+opScan].Inc()
+		start := time.Now()
+		entries, err := s.setScan(id)
+		m.scanNs.Observe(uint64(time.Since(start)))
+		return entries, err
+	}
+	return s.setScan(id)
+}
+
+func (s *Store) setScan(id oid.OID) ([]SetEntry, error) {
 	sh := s.shardOf(id)
 	sh.mu.RLock()
 	set, ok := sh.sets[id]

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Server is a live observability endpoint started by Obs.Serve.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close shuts the endpoint down, interrupting in-flight requests.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// queryInt reads an integer query parameter with a default.
+func queryInt(r *http.Request, key string, def int) int {
+	if v := r.URL.Query().Get(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// Serve starts an HTTP endpoint exposing the Obs on addr (e.g.
+// ":8077" or "127.0.0.1:0"):
+//
+//	/metrics       Prometheus text format (version 0.0.4)
+//	/json          merged JSON snapshot (?topk=N&recent=N)
+//	/slow          slow-transaction log: retained slow span trees
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// The handlers run on a private mux (nothing is added to
+// http.DefaultServeMux). The endpoint serves whatever is currently
+// collected; callers normally SetEnabled(true) first.
+func (o *Obs) Serve(addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "semcc observability\n\n"+
+			"  /metrics       Prometheus text format\n"+
+			"  /json          JSON snapshot (?topk=N&recent=N)\n"+
+			"  /slow          slow-transaction span trees\n"+
+			"  /debug/pprof/  runtime profiles\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.WriteProm(w)
+	})
+	mux.HandleFunc("/json", func(w http.ResponseWriter, r *http.Request) {
+		p := Params{TopK: queryInt(r, "topk", 10), Recent: queryInt(r, "recent", 20)}
+		buf, err := o.JSON(p)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		buf, err := o.Spans.SlowJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(lis)
+	return &Server{lis: lis, srv: srv}, nil
+}

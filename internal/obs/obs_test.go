@@ -1,0 +1,469 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBucketsAndQuantile(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{0, 1, 2, 3, 100, 100, 100, 1000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	var sum uint64
+	for _, b := range h.Buckets() {
+		if b.Lo >= b.Hi {
+			t.Errorf("bucket [%d, %d) is empty-range", b.Lo, b.Hi)
+		}
+		sum += b.Count
+	}
+	if sum != 8 {
+		t.Fatalf("bucket counts sum to %d, want 8", sum)
+	}
+	// The 6th of 8 observations is 100, which lands in [64, 128); the
+	// estimate must be that bucket's midpoint.
+	if q := h.Quantile(0.75); q < 64 || q >= 128 {
+		t.Errorf("p75 = %d, want within [64, 128)", q)
+	}
+	// The max lands in [512, 1024).
+	if q := h.Quantile(1.0); q < 512 || q >= 1024 {
+		t.Errorf("p100 = %d, want within [512, 1024)", q)
+	}
+}
+
+func TestHistSnapSub(t *testing.T) {
+	var h Hist
+	h.Observe(5)
+	before := h.Snap()
+	h.Observe(1000)
+	h.Observe(1001)
+	delta := h.Snap().Sub(before)
+	if delta.Count() != 2 {
+		t.Fatalf("delta count = %d, want 2", delta.Count())
+	}
+	if delta.Sum != 2001 {
+		t.Fatalf("delta sum = %d, want 2001", delta.Sum)
+	}
+	// Both delta observations are in [512, 1024): the old value must
+	// not leak into the delta quantile.
+	if q := delta.Quantile(0.5); q < 512 || q >= 1024 {
+		t.Errorf("delta p50 = %d, want within [512, 1024)", q)
+	}
+}
+
+func TestHistBucketBoundsSaturate(t *testing.T) {
+	lo, hi := bucketBounds(64)
+	if lo != 1<<63 || hi != ^uint64(0) {
+		t.Fatalf("bucket 64 = [%d, %d), want [2^63, MaxUint64)", lo, hi)
+	}
+	if lo, _ := bucketBounds(0); lo != 0 {
+		t.Fatalf("bucket 0 lo = %d, want 0", lo)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help")
+	c2 := r.Counter("x_total", "help")
+	if c1 != c2 {
+		t.Error("re-registering a counter did not return the existing one")
+	}
+	ca := r.Counter("y_total", "help", L("shard", "0"))
+	cb := r.Counter("y_total", "help", L("shard", "1"))
+	if ca == cb {
+		t.Error("distinct label sets share a counter")
+	}
+	if r.Hist("h_ns", "help") != r.Hist("h_ns", "help") {
+		t.Error("re-registering a histogram did not return the existing one")
+	}
+
+	// Func series replace on re-register (Reopen re-binds cleanly).
+	r.CounterFunc("f_total", "help", func() uint64 { return 1 })
+	r.CounterFunc("f_total", "help", func() uint64 { return 42 })
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "f_total 42") {
+		t.Errorf("replaced func counter not in effect:\n%s", buf.String())
+	}
+}
+
+func TestRegistryWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "bees").Add(3)
+	r.Gauge("a_gauge", "ays").Set(-7)
+	r.Counter("lbl_total", "labelled", L("op", `we"ird`+"\n")).Inc()
+	h := r.Hist("lat_ns", "latency")
+	h.Observe(1) // bucket [1,2) -> le="2"
+	h.Observe(3) // bucket [2,4) -> le="4"
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE a_gauge gauge\na_gauge -7\n",
+		"# TYPE b_total counter\nb_total 3\n",
+		`lbl_total{op="we\"ird\n"} 1`,
+		"# TYPE lat_ns histogram\n",
+		`lat_ns_bucket{le="2"} 1`,
+		`lat_ns_bucket{le="4"} 2`, // cumulative
+		`lat_ns_bucket{le="+Inf"} 2`,
+		"lat_ns_sum 4\n",
+		"lat_ns_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must come out name-sorted.
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h", L("shard", "2")).Add(9)
+	r.GaugeFunc("g", "h", func() int64 { return -1 })
+	snaps := r.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("Snapshot returned %d series, want 2", len(snaps))
+	}
+	byName := map[string]MetricSnap{}
+	for _, m := range snaps {
+		byName[m.Name] = m
+	}
+	if m := byName["c_total"]; m.Kind != "counter" || m.Labels["shard"] != "2" || m.Value != uint64(9) {
+		t.Errorf("c_total snap = %+v", m)
+	}
+	if m := byName["g"]; m.Kind != "gauge" || m.Value != int64(-1) {
+		t.Errorf("g snap = %+v", m)
+	}
+}
+
+func TestSpanTreeAndRecorder(t *testing.T) {
+	var slowBuf bytes.Buffer
+	o := New(Config{SlowSpan: time.Nanosecond, SlowLog: &slowBuf, RecentSpans: 2})
+	o.SetEnabled(true)
+
+	root := o.Spans.BeginRoot(1, "root")
+	if root == nil {
+		t.Fatal("BeginRoot returned nil on an enabled Obs")
+	}
+	child := root.NewChild(2, "Item.ShipOrder")
+	grand := child.NewChild(3, "Put")
+	grand.AddStore(500, 1)
+	grand.Finish(OutcomeCommitted)
+	child.AddLockWait(WaitCase2, 1234)
+	child.AddWAL(77)
+	child.Finish(OutcomeCommitted)
+	root.AddComp(1)
+	time.Sleep(time.Microsecond) // comfortably past the 1ns slow bar
+	o.Spans.FinishRoot(root, OutcomeCommitted)
+
+	snap := o.Spans.Snapshot(10)
+	if snap.Started != 1 || snap.Finished != 1 || snap.Active != 0 {
+		t.Fatalf("recorder counters = %+v", snap)
+	}
+	if len(snap.Recent) != 1 || len(snap.Slow) != 1 {
+		t.Fatalf("rings: recent=%d slow=%d, want 1/1", len(snap.Recent), len(snap.Slow))
+	}
+	if snap.Latency.Count != 1 || snap.Latency.P50 == 0 {
+		t.Fatalf("latency histogram = %+v", snap.Latency)
+	}
+
+	raw, err := json.Marshal(snap.Recent[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"label":"Item.ShipOrder"`, `"outcome":"committed"`,
+		`"case2":{"count":1,"ns":1234}`, `"wal_appends":1`,
+		`"store_ops":1`, `"compensations":1`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("span JSON missing %s:\n%s", want, raw)
+		}
+	}
+	if !strings.Contains(slowBuf.String(), `"label":"Item.ShipOrder"`) {
+		t.Errorf("slow log missing the tree:\n%s", slowBuf.String())
+	}
+
+	// The recent ring evicts oldest-first at capacity 2.
+	for i := uint64(10); i < 13; i++ {
+		s := o.Spans.BeginRoot(i, "r")
+		o.Spans.FinishRoot(s, OutcomeAborted)
+	}
+	snap = o.Spans.Snapshot(0)
+	if len(snap.Recent) != 2 || snap.Recent[1].ID != 12 {
+		t.Fatalf("ring after overflow: %+v", snap.Recent)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var s *Span
+	if c := s.NewChild(1, "x"); c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	s.AddLockWait(WaitRoot, 1)
+	s.AddWAL(1)
+	s.AddStore(1, 1)
+	s.AddComp(1)
+	s.Finish(OutcomeAborted)
+	if s.DurNanos() != 0 {
+		t.Fatal("nil span has a duration")
+	}
+	var r *SpanRecorder
+	if r.BeginRoot(1, "x") != nil {
+		t.Fatal("nil recorder produced a span")
+	}
+	r.FinishRoot(nil, OutcomeCommitted)
+	var o *Obs
+	if o.On() {
+		t.Fatal("nil Obs is on")
+	}
+	o.SetEnabled(true)
+	o.SetConst("k", "v")
+	o.Section("s", func(Params) any { return nil })
+}
+
+func TestDisabledGate(t *testing.T) {
+	o := New(Config{})
+	if o.On() {
+		t.Fatal("fresh Obs is enabled")
+	}
+	if sp := o.Spans.BeginRoot(1, "x"); sp != nil {
+		t.Fatal("disabled Obs produced a span")
+	}
+	// Func-backed metrics are live even while disabled.
+	o.Registry.CounterFunc("live_total", "h", func() uint64 { return 5 })
+	var buf bytes.Buffer
+	if err := o.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "live_total 5") {
+		t.Errorf("func metric dead while disabled:\n%s", buf.String())
+	}
+	o.SetEnabled(true)
+	if sp := o.Spans.BeginRoot(1, "x"); sp == nil {
+		t.Fatal("enabled Obs produced no span")
+	}
+}
+
+// TestDisabledPathAllocs pins the contract that a disabled Obs
+// allocates nothing at any instrumentation site.
+func TestDisabledPathAllocs(t *testing.T) {
+	o := New(Config{})
+	var sink bool
+	if n := testing.AllocsPerRun(1000, func() {
+		sink = o.On()
+		sp := o.Spans.BeginRoot(1, "root")
+		sp.AddLockWait(WaitCase2, 1)
+		sp.AddWAL(1)
+		sp.AddStore(1, 1)
+		o.Spans.FinishRoot(sp, OutcomeCommitted)
+	}); n != 0 {
+		t.Errorf("disabled path allocates %.1f objects/op, want 0", n)
+	}
+	_ = sink
+}
+
+func TestObsJSONAndInfo(t *testing.T) {
+	o := New(Config{})
+	o.SetConst("protocol", "semantic")
+	o.Section("stats", func(p Params) any { return map[string]int{"topk": p.TopK} })
+	o.Registry.Counter("c_total", "h").Inc()
+
+	raw, err := o.JSON(Params{TopK: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("JSON output invalid: %v\n%s", err, raw)
+	}
+	if got["protocol"] != "semantic" {
+		t.Errorf("protocol = %v", got["protocol"])
+	}
+	if sec, ok := got["stats"].(map[string]any); !ok || sec["topk"] != float64(7) {
+		t.Errorf("section params not threaded: %v", got["stats"])
+	}
+	for _, key := range []string{"enabled", "metrics", "spans"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("JSON missing %q key", key)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := o.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `semcc_info{protocol="semantic"} 1`) {
+		t.Errorf("exposition missing semcc_info:\n%s", buf.String())
+	}
+}
+
+// TestConcurrentSpansAndReaders hammers the published-at-finish
+// contract under -race: writer goroutines build and finish span trees
+// while readers snapshot, render JSON/Prometheus, poll the HTTP
+// endpoint, and toggle the enable switch.
+func TestConcurrentSpansAndReaders(t *testing.T) {
+	o := New(Config{SlowSpan: time.Nanosecond, RecentSpans: 8, SlowSpans: 8})
+	o.SetEnabled(true)
+	srv, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	h := o.Registry.Hist("hammer_ns", "h")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sp := o.Spans.BeginRoot(i, "root")
+				c := sp.NewChild(i+1, "child")
+				c.AddLockWait(WaitCause(i%3), i)
+				c.Finish(OutcomeCommitted)
+				h.Observe(i)
+				o.Spans.FinishRoot(sp, OutcomeCommitted)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() { // flip the gate while traffic runs
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			o.SetEnabled(i%2 == 0)
+			time.Sleep(100 * time.Microsecond)
+		}
+		o.SetEnabled(true)
+	}()
+
+	base := "http://" + srv.Addr()
+	for i := 0; i < 20; i++ {
+		if _, err := o.JSON(Params{TopK: 3, Recent: 4}); err != nil {
+			t.Error(err)
+		}
+		if err := o.WriteProm(io.Discard); err != nil {
+			t.Error(err)
+		}
+		o.Spans.Snapshot(4)
+		if _, err := o.Spans.SlowJSON(); err != nil {
+			t.Error(err)
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/json?topk=2&recent=%d", base, i%5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestServeEndpoints(t *testing.T) {
+	o := New(Config{})
+	o.SetEnabled(true)
+	o.SetConst("protocol", "semantic")
+	o.Registry.Counter("semcc_demo_total", "h").Add(2)
+	sp := o.Spans.BeginRoot(1, "root")
+	o.Spans.FinishRoot(sp, OutcomeCommitted)
+
+	srv, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	for _, want := range []string{"semcc_demo_total 2", "semcc_tx_spans_finished_total 1", `semcc_info{protocol="semantic"}`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	body, ctype = get("/json")
+	if ctype != "application/json" {
+		t.Errorf("/json content type = %q", ctype)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/json invalid: %v", err)
+	}
+
+	body, _ = get("/slow")
+	if !strings.HasPrefix(strings.TrimSpace(body), "[") {
+		t.Errorf("/slow is not a JSON array:\n%s", body)
+	}
+
+	body, _ = get("/debug/pprof/cmdline")
+	if len(body) == 0 {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+
+	body, _ = get("/")
+	if !strings.Contains(body, "/metrics") {
+		t.Errorf("index page missing route list:\n%s", body)
+	}
+}
+
+// BenchmarkDisabledSite measures the per-site cost of the disabled
+// gate: a nil check plus one atomic load.
+func BenchmarkDisabledSite(b *testing.B) {
+	o := New(Config{})
+	b.Run("On", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if o.On() {
+				b.Fatal("enabled")
+			}
+		}
+	})
+	b.Run("BeginRoot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if sp := o.Spans.BeginRoot(uint64(i), "root"); sp != nil {
+				b.Fatal("got a span")
+			}
+		}
+	})
+}

@@ -1,0 +1,394 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone uint64 metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a signed instantaneous-value metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Label is one name=value metric dimension (e.g. {partition="3"}).
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// metricKind selects the exposition type of a metric family.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHist
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindGauge:
+		return "gauge"
+	case kindHist:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+// series is one labelled time series inside a family. Exactly one of
+// the value sources is set: an owned counter/gauge/hist, or a fn
+// closure bridging an externally owned counter (the engine's striped
+// Stats, the pools' per-partition atomics) into the registry without
+// adding a second write path.
+type series struct {
+	labels []Label
+	key    string // canonical label key, "" for the unlabelled series
+	c      *Counter
+	g      *Gauge
+	h      *Hist
+	fn     func() uint64
+	gfn    func() int64
+}
+
+func (s *series) value() (uint64, int64, bool) {
+	switch {
+	case s.c != nil:
+		return s.c.Load(), 0, false
+	case s.g != nil:
+		return 0, s.g.Load(), true
+	case s.fn != nil:
+		return s.fn(), 0, false
+	case s.gfn != nil:
+		return 0, s.gfn(), true
+	}
+	return 0, 0, false
+}
+
+// family groups all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry is a set of named metric families. Registration is
+// idempotent on (name, labels): re-registering returns the existing
+// owned metric, and re-registering a func metric replaces the closure
+// (so a Reopen'd engine re-binds its counters cleanly). Registration
+// takes a mutex; reads and writes of the metrics themselves are
+// lock-free atomics.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + "=" + l.Value
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// family returns (creating if needed) the family for name. Caller
+// holds r.mu.
+func (r *Registry) family(name, help string, kind metricKind) *family {
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.fams[name] = f
+	}
+	return f
+}
+
+// find returns the series with the given label key, or nil.
+func (f *family) find(key string) *series {
+	for _, s := range f.series {
+		if s.key == key {
+			return s
+		}
+	}
+	return nil
+}
+
+// upsert replaces the series with s.key if present, else appends.
+func (f *family) upsert(s *series) {
+	for i, old := range f.series {
+		if old.key == s.key {
+			f.series[i] = s
+			return
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers (or returns the existing) owned counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter)
+	key := labelKey(labels)
+	if s := f.find(key); s != nil && s.c != nil {
+		return s.c
+	}
+	c := &Counter{}
+	f.upsert(&series{labels: labels, key: key, c: c})
+	return c
+}
+
+// Gauge registers (or returns the existing) owned gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	key := labelKey(labels)
+	if s := f.find(key); s != nil && s.g != nil {
+		return s.g
+	}
+	g := &Gauge{}
+	f.upsert(&series{labels: labels, key: key, g: g})
+	return g
+}
+
+// Hist registers (or returns the existing) owned histogram.
+func (r *Registry) Hist(name, help string, labels ...Label) *Hist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindHist)
+	key := labelKey(labels)
+	if s := f.find(key); s != nil && s.h != nil {
+		return s.h
+	}
+	h := &Hist{}
+	f.upsert(&series{labels: labels, key: key, h: h})
+	return h
+}
+
+// CounterFunc registers a counter series whose value is read from fn
+// at exposition time. Use it to surface counters that already exist as
+// hot-path atomics elsewhere (striped engine stats, pool partition
+// counters) without double-counting writes. Re-registering the same
+// (name, labels) replaces the closure.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindCounter)
+	f.upsert(&series{labels: labels, key: labelKey(labels), fn: fn})
+}
+
+// GaugeFunc registers a gauge series read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, kindGauge)
+	f.upsert(&series{labels: labels, key: labelKey(labels), gfn: fn})
+}
+
+// promEscape escapes a label value for the Prometheus text format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promLabels renders {k="v",...}, optionally with a trailing extra
+// label (used for histogram le=).
+func promLabels(labels []Label, extraName, extraVal string) string {
+	if len(labels) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// Manual quoting: the text format escapes exactly \, ", and
+		// newline in label values (%q would double-escape).
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, promEscape(l.Value))
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteProm writes every family in the Prometheus text exposition
+// format (version 0.0.4), families and series in deterministic sorted
+// order. Histograms emit cumulative le= buckets at the log₂ bucket
+// upper bounds plus _sum and _count.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.fams[name]
+		// Copy the series slice so exposition can run outside the
+		// registration lock (values are atomics; series are append-only
+		// per family snapshot).
+		cp := &family{name: f.name, help: f.help, kind: f.kind, series: append([]*series(nil), f.series...)}
+		fams = append(fams, cp)
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].key < f.series[j].key })
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType()); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if f.kind == kindHist && s.h != nil {
+				snap := s.h.Snap()
+				var cum uint64
+				for i, c := range snap.B {
+					if c == 0 {
+						continue
+					}
+					cum += c
+					_, hi := bucketBounds(i)
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(s.labels, "le", fmt.Sprint(hi)), cum); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(s.labels, "le", "+Inf"), cum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", f.name, promLabels(s.labels, "", ""), snap.Sum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(s.labels, "", ""), cum); err != nil {
+					return err
+				}
+				continue
+			}
+			u, g, signed := s.value()
+			var err error
+			if signed {
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels, "", ""), g)
+			} else {
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels, "", ""), u)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// HistValue is the JSON view of one histogram series.
+type HistValue struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	P50     uint64   `json:"p50"`
+	P90     uint64   `json:"p90"`
+	P99     uint64   `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// MetricSnap is the JSON view of one series.
+type MetricSnap struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	Value  any               `json:"value"`
+}
+
+// Snapshot returns every series as a flat sorted list, histograms
+// summarised with count/sum/quantiles/buckets.
+func (r *Registry) Snapshot() []MetricSnap {
+	r.mu.Lock()
+	type item struct {
+		f *family
+		s *series
+	}
+	var items []item
+	for _, f := range r.fams {
+		for _, s := range f.series {
+			items = append(items, item{f, s})
+		}
+	}
+	r.mu.Unlock()
+
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].f.name != items[j].f.name {
+			return items[i].f.name < items[j].f.name
+		}
+		return items[i].s.key < items[j].s.key
+	})
+	out := make([]MetricSnap, 0, len(items))
+	for _, it := range items {
+		m := MetricSnap{Name: it.f.name, Kind: it.f.kind.promType()}
+		if len(it.s.labels) > 0 {
+			m.Labels = make(map[string]string, len(it.s.labels))
+			for _, l := range it.s.labels {
+				m.Labels[l.Name] = l.Value
+			}
+		}
+		if it.f.kind == kindHist && it.s.h != nil {
+			snap := it.s.h.Snap()
+			m.Value = HistValue{
+				Count: snap.Count(), Sum: snap.Sum,
+				P50: snap.Quantile(0.50), P90: snap.Quantile(0.90), P99: snap.Quantile(0.99),
+				Buckets: it.s.h.Buckets(),
+			}
+		} else {
+			u, g, signed := it.s.value()
+			if signed {
+				m.Value = g
+			} else {
+				m.Value = u
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}

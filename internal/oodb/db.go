@@ -1,7 +1,6 @@
 package oodb
 
 import (
-	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -9,6 +8,7 @@ import (
 	"semcc/internal/core"
 	"semcc/internal/core/trace"
 	"semcc/internal/objstore"
+	"semcc/internal/obs"
 	"semcc/internal/oid"
 	"semcc/internal/storage"
 	"semcc/internal/val"
@@ -47,6 +47,14 @@ type Options struct {
 	// contention profile, wait-time histograms. Disabled tracers cost
 	// one atomic load per engine emission site.
 	Tracer *trace.Tracer
+	// Obs, when set, attaches the cross-layer observability handle
+	// (internal/obs): unified metrics registry over engine, WAL,
+	// buffer pool, and object store, plus per-transaction span trees.
+	// When nil the DB creates a private disabled Obs, so
+	// ObservabilityJSON and ServeObservability always work; gated
+	// collection (spans, latency histograms, per-shard op counts)
+	// starts only after Obs.SetEnabled(true) or ServeObservability.
+	Obs *obs.Obs
 	// Hooks passes test callbacks to the engine.
 	Hooks core.Hooks
 }
@@ -58,6 +66,7 @@ type DB struct {
 	store  *objstore.Store
 	reg    *typeRegistry
 	engine *core.Engine
+	obs    *obs.Obs
 
 	mu    sync.RWMutex
 	named map[string]oid.OID
@@ -65,31 +74,22 @@ type DB struct {
 
 // Open creates an empty database.
 func Open(opts Options) *DB {
+	o := opts.Obs
+	if o == nil {
+		o = obs.New(obs.Config{})
+	}
 	db := &DB{
 		store: objstore.NewStore(objstore.Config{
 			Shards:     opts.StoreShards,
 			PoolFrames: opts.PoolFrames,
 			PoolKind:   opts.PoolKind,
+			Obs:        o,
 		}),
 		reg:   newTypeRegistry(),
 		named: make(map[string]oid.OID),
+		obs:   o,
 	}
-	db.engine = core.New(core.Config{
-		Kind:             opts.Protocol,
-		Table:            db.reg,
-		PageOf:           db.store.PageOf,
-		Record:           opts.Record,
-		NoAncestorRelief: opts.NoAncestorRelief,
-		LockTable:        opts.LockTable,
-		LockShards:       opts.LockShards,
-		Journal:          opts.Journal,
-		Tracer:           opts.Tracer,
-		Hooks:            opts.Hooks,
-	})
-	db.engine.SetExec(func(parent *core.Tx, inv compat.Invocation) error {
-		_, err := db.invoke(parent, inv)
-		return err
-	})
+	db.finishOpen(opts)
 	return db
 }
 
@@ -99,11 +99,29 @@ func Open(opts Options) *DB {
 // fresh engine — all volatile state (lock table, transaction trees)
 // is gone. The old DB must not be used afterwards.
 func Reopen(old *DB, opts Options) *DB {
+	o := opts.Obs
+	if o == nil {
+		o = obs.New(obs.Config{})
+	}
 	db := &DB{
 		store: old.store,
 		reg:   old.reg,
 		named: old.named,
+		obs:   o,
 	}
+	// The store survived the "crash"; rebind its metrics to the new
+	// instance's registry so the reopened DB's exports cover it.
+	db.store.AttachObs(o)
+	db.finishOpen(opts)
+	return db
+}
+
+// finishOpen builds the engine and wires the observability handle:
+// engine stats register as func-backed metrics, the journal (if it
+// implements obs.Attacher, as *wal.Log does) registers its own, and
+// the protocol plus the engine-stats and tracer sections feed the
+// merged JSON export.
+func (db *DB) finishOpen(opts Options) {
 	db.engine = core.New(core.Config{
 		Kind:             opts.Protocol,
 		Table:            db.reg,
@@ -114,13 +132,21 @@ func Reopen(old *DB, opts Options) *DB {
 		LockShards:       opts.LockShards,
 		Journal:          opts.Journal,
 		Tracer:           opts.Tracer,
+		Obs:              db.obs,
 		Hooks:            opts.Hooks,
 	})
 	db.engine.SetExec(func(parent *core.Tx, inv compat.Invocation) error {
 		_, err := db.invoke(parent, inv)
 		return err
 	})
-	return db
+	if a, ok := opts.Journal.(obs.Attacher); ok {
+		a.AttachObs(db.obs)
+	}
+	db.obs.SetConst("protocol", db.engine.Kind().String())
+	db.obs.Section("stats", func(obs.Params) any { return db.engine.Stats() })
+	if tr := db.engine.Tracer(); tr != nil {
+		db.obs.Section("trace", func(p obs.Params) any { return tr.Snapshot(p.TopK, p.Recent) })
+	}
 }
 
 // Protocol returns the concurrency control protocol in effect.
@@ -207,23 +233,27 @@ func (db *DB) ComponentPath(obj oid.OID, names ...string) (oid.OID, error) {
 // for test assertions and population checks only.
 func (db *DB) ReadAtom(obj oid.OID) (val.V, error) { return db.store.ReadAtomic(obj) }
 
-// ObservabilityJSON renders an expvar-style JSON snapshot of the
-// engine: the monotone concurrency-control counters plus, when a
-// tracer is attached, its contention profile (topK hottest objects,
-// per-cause wait-time histograms) and the most recent trace events.
+// Obs returns the database's observability handle (never nil; a
+// private disabled one is created when Options.Obs was unset).
+func (db *DB) Obs() *obs.Obs { return db.obs }
+
+// ObservabilityJSON renders the merged observability snapshot: the
+// protocol, the engine's monotone concurrency-control counters
+// ("stats"), the tracer's contention profile when one is attached
+// ("trace"), and the unified registry + span sections covering lock
+// manager, WAL, buffer pool, and object store ("metrics", "spans").
 // Safe to call while transactions run; counters are then monotone per
 // field but not a single consistent cut (see core.Stats).
 func (db *DB) ObservabilityJSON(topK, recentEvents int) ([]byte, error) {
-	snap := struct {
-		Protocol string             `json:"protocol"`
-		Stats    core.StatsSnapshot `json:"stats"`
-		Trace    *trace.Snapshot    `json:"trace,omitempty"`
-	}{
-		Protocol: db.engine.Kind().String(),
-		Stats:    db.engine.Stats(),
-	}
-	if tr := db.engine.Tracer(); tr != nil {
-		snap.Trace = tr.Snapshot(topK, recentEvents)
-	}
-	return json.MarshalIndent(snap, "", "  ")
+	return db.obs.JSON(obs.Params{TopK: topK, Recent: recentEvents})
+}
+
+// ServeObservability enables gated collection and starts the live
+// observability endpoint on addr (e.g. "127.0.0.1:0"): Prometheus
+// text at /metrics, the JSON snapshot at /json, the slow-transaction
+// span log at /slow, and net/http/pprof under /debug/pprof/. Close
+// the returned server to stop serving (collection stays enabled).
+func (db *DB) ServeObservability(addr string) (*obs.Server, error) {
+	db.obs.SetEnabled(true)
+	return db.obs.Serve(addr)
 }

@@ -3,6 +3,7 @@ package oodb
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"semcc/internal/compat"
 	"semcc/internal/core"
@@ -213,8 +214,32 @@ func (db *DB) invoke(parent *core.Tx, inv compat.Invocation) (val.V, error) {
 }
 
 // run dispatches an invocation to a generic operation or a registered
-// method body.
+// method body. Generic operations touch the object store directly;
+// when the node carries a span their wall time is charged to it as
+// storage time (method bodies are not bracketed — their cost shows up
+// as the child actions they spawn).
 func (db *DB) run(node *core.Tx, inv compat.Invocation) (val.V, error) {
+	switch inv.Method {
+	case compat.OpGet, compat.OpPut, compat.OpSelect, compat.OpInsert, compat.OpRemove, compat.OpScan:
+		if sp := node.Span(); sp != nil {
+			start := time.Now()
+			v, err := db.runGeneric(inv)
+			sp.AddStore(uint64(time.Since(start)), 1)
+			return v, err
+		}
+		return db.runGeneric(inv)
+	default:
+		m, ok := db.reg.methodOf(inv.Object, inv.Method)
+		if !ok {
+			return val.NullV, fmt.Errorf("oodb: object %s has no method %q", inv.Object, inv.Method)
+		}
+		return m.Body(&Ctx{db: db, node: node}, inv.Object, inv.Args)
+	}
+}
+
+// runGeneric executes one of the paper's generic operations against
+// the object store.
+func (db *DB) runGeneric(inv compat.Invocation) (val.V, error) {
 	switch inv.Method {
 	case compat.OpGet:
 		return db.store.ReadAtomic(inv.Object)
@@ -269,11 +294,7 @@ func (db *DB) run(node *core.Tx, inv compat.Invocation) (val.V, error) {
 	case compat.OpScan:
 		return val.NullV, fmt.Errorf("oodb: Scan must go through Tx.Scan/Ctx.Scan")
 	default:
-		m, ok := db.reg.methodOf(inv.Object, inv.Method)
-		if !ok {
-			return val.NullV, fmt.Errorf("oodb: object %s has no method %q", inv.Object, inv.Method)
-		}
-		return m.Body(&Ctx{db: db, node: node}, inv.Object, inv.Args)
+		return val.NullV, fmt.Errorf("oodb: %q is not a generic operation", inv.Method)
 	}
 }
 
@@ -284,7 +305,14 @@ func (db *DB) scan(parent *core.Tx, set oid.OID) ([]objstore.SetEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	entries, err := db.store.SetScan(set)
+	var entries []objstore.SetEntry
+	if sp := node.Span(); sp != nil {
+		start := time.Now()
+		entries, err = db.store.SetScan(set)
+		sp.AddStore(uint64(time.Since(start)), 1)
+	} else {
+		entries, err = db.store.SetScan(set)
+	}
 	if err != nil {
 		if aerr := db.engine.AbortChild(node); aerr != nil {
 			err = fmt.Errorf("%w (abort: %v)", err, aerr)

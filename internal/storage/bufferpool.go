@@ -4,6 +4,10 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"semcc/internal/obs"
 )
 
 // Disk is the backing store for pages. Implementations must be safe
@@ -93,7 +97,21 @@ type BufferPool interface {
 	FlushAll() error
 	// Stats reports hit/miss/eviction counters.
 	Stats() (hits, misses, evicts uint64)
+	// AttachObs registers the pool's metrics with o (hit/miss/eviction
+	// counters always live; fault-latency histograms gated on o being
+	// enabled). Call before the pool is shared between goroutines;
+	// nil-safe.
+	AttachObs(o *obs.Obs)
 }
+
+// poolObs carries the gated observability extras shared by both pool
+// implementations.
+type poolObs struct {
+	o       *obs.Obs
+	faultNs *obs.Hist
+}
+
+func (m *poolObs) on() bool { return m != nil && m.o.On() }
 
 // PoolKind selects the buffer-pool implementation backing a store.
 type PoolKind uint8
@@ -166,10 +184,11 @@ type Pool struct {
 	frames   []frame
 	byPage   map[uint32]int // page id -> frame index
 	lru      *list.List     // of frame indexes; front = most recent
-	hits     uint64
-	misses   uint64
-	evicts   uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	evicts   atomic.Uint64
 	capacity int
+	om       *poolObs
 }
 
 // NewPool returns a buffer pool of the given capacity (in frames) over
@@ -189,9 +208,20 @@ func NewPool(disk Disk, capacity int) *Pool {
 
 // Stats reports hit/miss/eviction counters.
 func (bp *Pool) Stats() (hits, misses, evicts uint64) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.hits, bp.misses, bp.evicts
+	return bp.hits.Load(), bp.misses.Load(), bp.evicts.Load()
+}
+
+// AttachObs implements BufferPool: the counters become func-backed
+// registry metrics (no second write path) and page faults gain a gated
+// latency histogram.
+func (bp *Pool) AttachObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	bp.om = &poolObs{o: o, faultNs: o.Registry.Hist("semcc_pool_fault_ns", "Buffer-pool miss disk-read latency, nanoseconds.")}
+	o.Registry.CounterFunc("semcc_pool_hits_total", "Buffer-pool fetches served from a resident frame.", bp.hits.Load)
+	o.Registry.CounterFunc("semcc_pool_misses_total", "Buffer-pool fetches that read from disk.", bp.misses.Load)
+	o.Registry.CounterFunc("semcc_pool_evictions_total", "Frames evicted to make room.", bp.evicts.Load)
 }
 
 // NewPage allocates a fresh, formatted page, pins it, and returns it.
@@ -224,19 +254,26 @@ func (bp *Pool) Fetch(id uint32) (*Page, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	if idx, ok := bp.byPage[id]; ok {
-		bp.hits++
+		bp.hits.Add(1)
 		f := &bp.frames[idx]
 		f.pins++
 		bp.touchLocked(idx)
 		return &f.page, nil
 	}
-	bp.misses++
+	bp.misses.Add(1)
 	idx, err := bp.victimLocked()
 	if err != nil {
 		return nil, err
 	}
 	f := &bp.frames[idx]
-	if err := bp.disk.ReadPage(id, &f.page.buf); err != nil {
+	if m := bp.om; m.on() {
+		start := time.Now()
+		err = bp.disk.ReadPage(id, &f.page.buf)
+		m.faultNs.Observe(uint64(time.Since(start)))
+	} else {
+		err = bp.disk.ReadPage(id, &f.page.buf)
+	}
+	if err != nil {
 		f.valid = false
 		return nil, err
 	}
@@ -310,7 +347,7 @@ func (bp *Pool) victimLocked() (int, error) {
 		delete(bp.byPage, f.id)
 		f.valid = false
 		f.dirty = false
-		bp.evicts++
+		bp.evicts.Add(1)
 		return idx, nil
 	}
 	return 0, fmt.Errorf("storage: buffer pool exhausted (all %d frames pinned)", bp.capacity)

@@ -3,8 +3,12 @@ package storage
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"semcc/internal/obs"
 )
 
 // PartitionedPool is a buffer pool whose frames are split over
@@ -14,16 +18,18 @@ import (
 // analogue of the striped lock table (DESIGN.md §3.9).
 //
 // Each partition runs clock (second-chance) replacement over its own
-// frames; hit/miss/evict counters are pool-wide atomics so Stats never
-// takes a partition mutex.
+// frames; hit/miss/evict counters live in the partitions (so hot-path
+// updates stay on the partition's cache lines) and Stats sums them
+// without taking a partition mutex.
 type PartitionedPool struct {
 	disk  Disk
 	parts []poolPartition
 	mask  uint32
+	om    *poolObs
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	evicts atomic.Uint64
+	// parks counts NewPage page ids parked for reuse because the
+	// partition was full of pins.
+	parks atomic.Uint64
 
 	// freeIDs holds page ids that were allocated by NewPage but whose
 	// frame acquisition failed (partition full of pins); they are
@@ -47,6 +53,11 @@ type poolPartition struct {
 	frames []pframe
 	byPage map[uint32]int // page id -> frame index
 	hand   int            // clock hand
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	evicts atomic.Uint64
+
 	// pad the partition header out so partition mutexes do not
 	// false-share (frames dominate the footprint anyway).
 	_ [32]byte
@@ -94,9 +105,43 @@ func (pp *PartitionedPool) partOf(id uint32) *poolPartition {
 // Partitions returns the number of independently locked partitions.
 func (pp *PartitionedPool) Partitions() int { return len(pp.parts) }
 
-// Stats reports pool-wide hit/miss/eviction counters.
+// Stats reports pool-wide hit/miss/eviction counters (summed over the
+// partitions).
 func (pp *PartitionedPool) Stats() (hits, misses, evicts uint64) {
-	return pp.hits.Load(), pp.misses.Load(), pp.evicts.Load()
+	for i := range pp.parts {
+		p := &pp.parts[i]
+		hits += p.hits.Load()
+		misses += p.misses.Load()
+		evicts += p.evicts.Load()
+	}
+	return hits, misses, evicts
+}
+
+// Parks returns the number of NewPage page ids parked for reuse
+// because the target partition was full of pins.
+func (pp *PartitionedPool) Parks() uint64 { return pp.parks.Load() }
+
+// AttachObs implements BufferPool: pool-wide and per-partition
+// hit/miss/eviction counters plus the pin-park counter become
+// func-backed registry metrics, and page faults gain a gated latency
+// histogram.
+func (pp *PartitionedPool) AttachObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	pp.om = &poolObs{o: o, faultNs: o.Registry.Hist("semcc_pool_fault_ns", "Buffer-pool miss disk-read latency, nanoseconds.")}
+	r := o.Registry
+	r.CounterFunc("semcc_pool_hits_total", "Buffer-pool fetches served from a resident frame.", func() uint64 { h, _, _ := pp.Stats(); return h })
+	r.CounterFunc("semcc_pool_misses_total", "Buffer-pool fetches that read from disk.", func() uint64 { _, m, _ := pp.Stats(); return m })
+	r.CounterFunc("semcc_pool_evictions_total", "Frames evicted to make room.", func() uint64 { _, _, e := pp.Stats(); return e })
+	r.CounterFunc("semcc_pool_pin_parks_total", "NewPage ids parked because the partition was full of pins.", pp.parks.Load)
+	for i := range pp.parts {
+		p := &pp.parts[i]
+		lbl := obs.L("partition", strconv.Itoa(i))
+		r.CounterFunc("semcc_pool_partition_hits_total", "Per-partition buffer-pool hits.", p.hits.Load, lbl)
+		r.CounterFunc("semcc_pool_partition_misses_total", "Per-partition buffer-pool misses.", p.misses.Load, lbl)
+		r.CounterFunc("semcc_pool_partition_evictions_total", "Per-partition frame evictions.", p.evicts.Load, lbl)
+	}
 }
 
 // NewPage allocates a fresh, formatted page, pins it, and returns it.
@@ -113,6 +158,7 @@ func (pp *PartitionedPool) NewPage() (*Page, error) {
 	idx, err := p.victimLocked(pp)
 	if err != nil {
 		p.mu.Unlock()
+		pp.parks.Add(1)
 		pp.parkID(id)
 		return nil, err
 	}
@@ -155,19 +201,26 @@ func (pp *PartitionedPool) Fetch(id uint32) (*Page, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if idx, ok := p.byPage[id]; ok {
-		pp.hits.Add(1)
+		p.hits.Add(1)
 		f := &p.frames[idx]
 		f.pins++
 		f.ref = true
 		return &f.page, nil
 	}
-	pp.misses.Add(1)
+	p.misses.Add(1)
 	idx, err := p.victimLocked(pp)
 	if err != nil {
 		return nil, err
 	}
 	f := &p.frames[idx]
-	if err := pp.disk.ReadPage(id, &f.page.buf); err != nil {
+	if m := pp.om; m.on() {
+		start := time.Now()
+		err = pp.disk.ReadPage(id, &f.page.buf)
+		m.faultNs.Observe(uint64(time.Since(start)))
+	} else {
+		err = pp.disk.ReadPage(id, &f.page.buf)
+	}
+	if err != nil {
 		f.valid = false
 		return nil, err
 	}
@@ -252,7 +305,7 @@ func (p *poolPartition) victimLocked(pp *PartitionedPool) (int, error) {
 		delete(p.byPage, f.id)
 		f.valid = false
 		f.dirty = false
-		pp.evicts.Add(1)
+		p.evicts.Add(1)
 		return idx, nil
 	}
 	return 0, fmt.Errorf("storage: buffer pool partition exhausted (all %d frames pinned)", n)

@@ -21,11 +21,15 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"semcc/internal/compat"
 	"semcc/internal/core"
+	"semcc/internal/obs"
 	"semcc/internal/oid"
 	"semcc/internal/oodb"
 	"semcc/internal/val"
@@ -36,13 +40,78 @@ import (
 type Log struct {
 	mu   sync.Mutex
 	recs []core.JournalRecord
+	// om carries the attached observability metrics; an atomic pointer
+	// because Append reads it before taking the log mutex.
+	om atomic.Pointer[logObs]
 }
 
 // NewLog returns an empty log.
 func NewLog() *Log { return &Log{} }
 
+// logObs bundles the log's registry metrics.
+type logObs struct {
+	o        *obs.Obs
+	appends  *obs.Counter
+	bytes    *obs.Counter
+	flushes  *obs.Counter
+	flushed  *obs.Counter
+	appendNs *obs.Hist
+}
+
+// AttachObs registers the log's metrics with o (implements
+// obs.Attacher; the facade attaches the journal this way because wal
+// imports oodb, so oodb cannot name *Log). Gated metrics (append
+// latency, byte counts) record only while o is enabled; the record
+// gauge is live always.
+func (l *Log) AttachObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	m := &logObs{
+		o:        o,
+		appends:  o.Registry.Counter("semcc_wal_appends_total", "Journal records appended (while obs is enabled)."),
+		bytes:    o.Registry.Counter("semcc_wal_append_bytes_total", "Marshalled size of appended journal records."),
+		flushes:  o.Registry.Counter("semcc_wal_flushes_total", "Log flushes to durable bytes (Marshal calls)."),
+		flushed:  o.Registry.Counter("semcc_wal_flush_bytes_total", "Bytes written by log flushes."),
+		appendNs: o.Registry.Hist("semcc_wal_append_ns", "Journal append latency, nanoseconds."),
+	}
+	o.Registry.GaugeFunc("semcc_wal_records", "Journal records currently retained.", func() int64 { return int64(l.Len()) })
+	l.om.Store(m)
+}
+
+func (m *logObs) on() bool { return m != nil && m.o.On() }
+
+// uvarintLen is the encoded size of v as a binary.AppendUvarint.
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+// recordBytes mirrors Marshal's per-record encoding arithmetic so the
+// byte counter reports exact durable sizes without marshalling on the
+// append path.
+func recordBytes(r core.JournalRecord) uint64 {
+	n := 1 + uvarintLen(r.Node) + uvarintLen(r.Parent) + 2
+	if r.Inv != nil {
+		n += 1 + uvarintLen(r.Inv.Object.N) + uvarintLen(uint64(len(r.Inv.Method))) + len(r.Inv.Method)
+		n += uvarintLen(uint64(len(r.Inv.Args)))
+		for _, a := range r.Inv.Args {
+			ab := a.Marshal()
+			n += uvarintLen(uint64(len(ab))) + len(ab)
+		}
+	}
+	return uint64(n)
+}
+
 // Append implements core.Journal.
 func (l *Log) Append(rec core.JournalRecord) {
+	if m := l.om.Load(); m.on() {
+		start := time.Now()
+		l.mu.Lock()
+		l.recs = append(l.recs, rec)
+		l.mu.Unlock()
+		m.appendNs.Observe(uint64(time.Since(start)))
+		m.appends.Inc()
+		m.bytes.Add(recordBytes(rec))
+		return
+	}
 	l.mu.Lock()
 	l.recs = append(l.recs, rec)
 	l.mu.Unlock()
@@ -69,11 +138,18 @@ func (l *Log) Reset() {
 	l.mu.Unlock()
 }
 
-// Marshal serialises the log.
+// Marshal serialises the log — the simulation's flush-to-durable-bytes
+// step, counted as one flush in the attached metrics.
 func (l *Log) Marshal() []byte {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var buf []byte
+	if m := l.om.Load(); m.on() {
+		defer func() {
+			m.flushes.Inc()
+			m.flushed.Add(uint64(len(buf)))
+		}()
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(l.recs)))
 	for _, r := range l.recs {
 		buf = append(buf, byte(r.Kind))

@@ -16,6 +16,7 @@ import (
 
 	"semcc/internal/core"
 	"semcc/internal/core/trace"
+	"semcc/internal/obs"
 	"semcc/internal/oodb"
 	"semcc/internal/orderentry"
 	"semcc/internal/storage"
@@ -132,6 +133,11 @@ type Config struct {
 	// Tracer, when set, attaches the observability subsystem to the
 	// run's database (semcc-bench's -hot/-trace modes read it back).
 	Tracer *trace.Tracer
+	// Obs, when set, attaches the cross-layer observability handle to
+	// the run's database (semcc-bench's -serve mode exposes it live).
+	// When it is enabled, span collection yields the run's latency
+	// percentiles (Metrics.P50Ns/P99Ns).
+	Obs *obs.Obs
 }
 
 // Metrics summarises one workload run.
@@ -143,6 +149,12 @@ type Metrics struct {
 	Elapsed    time.Duration
 	Throughput float64 // committed transactions per second
 	Engine     core.StatsSnapshot
+	// P50Ns/P99Ns are root-transaction latency percentiles for this
+	// run, from the span recorder's log₂ histogram (delta against the
+	// recorder's state before the run, so a shared Obs still yields
+	// per-run numbers). Zero when span collection was off.
+	P50Ns uint64
+	P99Ns uint64
 }
 
 // AvgWaitMicros returns the mean blocked time per blocking lock
@@ -160,6 +172,16 @@ func (m Metrics) BlockRate() float64 {
 		return 0
 	}
 	return float64(m.Engine.Blocks) / float64(m.Committed)
+}
+
+// LatencyStr renders the run's root-transaction latency percentiles
+// as "p50/p99" in milliseconds (e.g. "0.12/1.4"), or "-" when span
+// collection was off.
+func (m Metrics) LatencyStr() string {
+	if m.P50Ns == 0 && m.P99Ns == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2g/%.2g", float64(m.P50Ns)/1e6, float64(m.P99Ns)/1e6)
 }
 
 // CaseMix renders the Fig. 9 conflict-classification shares as
@@ -199,6 +221,7 @@ func Run(cfg Config) (Metrics, error) {
 		StoreShards:      cfg.StoreShards,
 		PoolKind:         cfg.PoolKind,
 		Tracer:           cfg.Tracer,
+		Obs:              cfg.Obs,
 	})
 	app, err := orderentry.Setup(db, orderentry.Config{
 		Items:         cfg.Items,
@@ -228,6 +251,8 @@ func RunOn(app *orderentry.App, cfg Config) (Metrics, error) {
 	}
 
 	var committed, aborted, retries atomic.Uint64
+	o := app.DB.Obs()
+	latBefore := o.Spans.LatencySnap()
 	start := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, cfg.Clients)
@@ -283,6 +308,10 @@ func RunOn(app *orderentry.App, cfg Config) (Metrics, error) {
 	}
 	if elapsed > 0 {
 		m.Throughput = float64(m.Committed) / elapsed.Seconds()
+	}
+	if lat := o.Spans.LatencySnap().Sub(latBefore); lat.Count() > 0 {
+		m.P50Ns = lat.Quantile(0.50)
+		m.P99Ns = lat.Quantile(0.99)
 	}
 	if cfg.Validate {
 		states, err := app.Snapshot()

@@ -38,6 +38,7 @@ import (
 	"semcc/internal/compat"
 	"semcc/internal/core"
 	"semcc/internal/core/trace"
+	"semcc/internal/obs"
 	"semcc/internal/oid"
 	"semcc/internal/oodb"
 	"semcc/internal/storage"
@@ -164,6 +165,35 @@ type TraceSnapshot = trace.Snapshot
 // NewTracer builds an observability tracer. It starts disabled; a
 // disabled tracer costs one atomic load per engine emission site.
 func NewTracer(cfg TraceConfig) *Tracer { return trace.New(cfg) }
+
+// Obs is the cross-layer observability handle: one metrics registry
+// (engine, WAL, buffer pool, object store) plus a per-transaction
+// span recorder capturing the open-nested invocation tree. Attach one
+// via Options.Obs, switch gated collection on with SetEnabled, and
+// read it back through DB.ObservabilityJSON, Obs.WriteProm, or the
+// live HTTP endpoint (DB.ServeObservability).
+type Obs = obs.Obs
+
+// ObsConfig parameterises NewObs (slow-span threshold and log, span
+// ring sizes).
+type ObsConfig = obs.Config
+
+// ObsServer is a running observability HTTP endpoint (/metrics,
+// /json, /slow, /debug/pprof/).
+type ObsServer = obs.Server
+
+// ObsParams parameterises snapshot rendering (Obs.JSON).
+type ObsParams = obs.Params
+
+// Span is one node of a recorded transaction tree: a (sub)transaction
+// with its outcome, lock-wait time by conflict cause, and WAL /
+// storage / compensation cost.
+type Span = obs.Span
+
+// NewObs builds an observability handle. It starts disabled; a
+// disabled Obs costs one atomic load per instrumentation site and
+// its func-backed counters are live either way.
+func NewObs(cfg ObsConfig) *Obs { return obs.New(cfg) }
 
 // OID identifies a database object.
 type OID = oid.OID

@@ -2,10 +2,16 @@ package semcc_test
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"semcc"
+	"semcc/internal/wal"
 )
 
 // TestPublicAPISchemaDefinition builds a complete encapsulated type
@@ -227,5 +233,145 @@ func TestObservabilityThroughFacade(t *testing.T) {
 	}
 	if after := tr.Snapshot(0, 0).Emitted; after != before {
 		t.Errorf("disabled tracer still collecting: %d -> %d", before, after)
+	}
+}
+
+// TestServeObservabilityLive drives an Obs-attached database through
+// the public façade and scrapes the live endpoint while transactions
+// run: Options.Obs wiring, span collection, the Prometheus and JSON
+// expositions covering every layer, and the pprof mount.
+func TestServeObservabilityLive(t *testing.T) {
+	o := semcc.NewObs(semcc.ObsConfig{SlowSpan: time.Nanosecond})
+	db := semcc.Open(semcc.Options{Protocol: semcc.Semantic, Obs: o})
+	srv, err := db.ServeObservability("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !o.On() {
+		t.Fatal("ServeObservability did not enable collection")
+	}
+
+	a, err := db.Store().NewAtomic(semcc.Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 25; i++ {
+				tx := db.Begin()
+				if err := tx.Put(a, semcc.Int(int64(w)*100+i)); err != nil {
+					t.Error(err)
+					_ = tx.Abort()
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		"semcc_engine_roots_committed_total", // engine layer
+		"semcc_pool_hits_total",              // buffer pool layer
+		"semcc_store_shard_ops_total",        // object store layer
+		"semcc_tx_latency_ns_count",          // span recorder
+		`semcc_info{protocol="semantic"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	var snap struct {
+		Protocol string `json:"protocol"`
+		Enabled  bool   `json:"enabled"`
+		Spans    struct {
+			Finished uint64 `json:"finished"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(get("/json")), &snap); err != nil {
+		t.Fatalf("/json invalid: %v", err)
+	}
+	if snap.Protocol != "semantic" || !snap.Enabled {
+		t.Errorf("/json header = %+v", snap)
+	}
+	if snap.Spans.Finished < 100 {
+		t.Errorf("spans.finished = %d, want >= 100", snap.Spans.Finished)
+	}
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestWALMetricsThroughFacade checks that a journal-backed database
+// surfaces WAL metrics in the unified registry (the obs.Attacher path)
+// and that spans charge WAL time.
+func TestWALMetricsThroughFacade(t *testing.T) {
+	o := semcc.NewObs(semcc.ObsConfig{})
+	o.SetEnabled(true)
+	log := wal.NewLog()
+	db := semcc.Open(semcc.Options{Protocol: semcc.Semantic, Journal: log, Obs: o})
+
+	a, err := db.Store().NewAtomic(semcc.Int(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := tx.Put(a, semcc.Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := o.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "semcc_wal_appends_total") {
+		t.Errorf("exposition missing WAL metrics:\n%s", out)
+	}
+	// The begin/complete/commit records of the transaction above must
+	// have been counted.
+	var appends uint64
+	for _, line := range strings.Split(out, "\n") {
+		if n, err := fmt.Sscanf(line, "semcc_wal_appends_total %d", &appends); n == 1 && err == nil {
+			break
+		}
+	}
+	if appends == 0 {
+		t.Errorf("semcc_wal_appends_total = 0, want > 0:\n%s", out)
+	}
+
+	snap := o.Spans.Snapshot(1)
+	if len(snap.Recent) == 0 {
+		t.Fatal("no span tree recorded")
+	}
+	root := snap.Recent[0]
+	if root.WALAppends == 0 {
+		t.Errorf("root span charged no WAL appends: %+v", root)
 	}
 }
