@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-store bench-obs fuzz-regress race-recovery fuzz
+.PHONY: check build test race vet bench bench-store bench-obs bench-wal fuzz-regress race-recovery fuzz BENCH_6.json
 
 # The full gate: what CI (and every PR) must pass. `race` runs the
 # whole suite (including the recovery and crash-point tests) under the
@@ -31,13 +31,17 @@ race:
 race-recovery:
 	$(GO) test -race -short -run 'Journal|Recovery|Crash|Unmarshal|Analyze' ./internal/core ./internal/wal
 
-# Replay the checked-in seed corpus (testdata/fuzz) without fuzzing.
+# Replay the checked-in seed corpora (testdata/fuzz) without fuzzing:
+# the record codec (FuzzUnmarshal) and the batch-frame decoder
+# (FuzzUnmarshalDurable) plus their in-tree seed suites.
 fuzz-regress:
-	$(GO) test -run 'Fuzz|TestUnmarshalSeedCorpus' ./internal/wal
+	$(GO) test -run 'Fuzz|TestUnmarshalSeedCorpus|TestDurableSeedCorpus' ./internal/wal
 
-# Actually fuzz for a short while (not part of check).
+# Actually fuzz for a short while (not part of check). One invocation
+# per fuzz target: go test refuses a -fuzz pattern matching several.
 fuzz:
-	$(GO) test -run=NONE -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/wal
+	$(GO) test -run=NONE -fuzz='FuzzUnmarshal$$' -fuzztime=30s ./internal/wal
+	$(GO) test -run=NONE -fuzz=FuzzUnmarshalDurable -fuzztime=30s ./internal/wal
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -58,3 +62,15 @@ bench-store:
 # ns/op with zero allocations.
 bench-obs:
 	$(GO) test -run=NONE -bench 'Overhead|DisabledSite' -benchmem -cpu 4 . ./internal/obs
+
+# The commit-path durability comparison: the disjoint-object parallel
+# method workload across journal modes (none / sync / group / async),
+# plus the E7 workload sweep. Group commit's win over sync is a
+# concurrency effect — run with -cpu >= 8.
+bench-wal:
+	$(GO) test -run=NONE -bench 'BenchmarkMethodInvocationParallelWAL' -benchmem -cpu 8 .
+	$(GO) run ./cmd/semcc-bench -exp E7 -quick
+
+# Regenerate the checked-in E7 durability sweep (full parameter grid).
+BENCH_6.json:
+	$(GO) run ./cmd/semcc-bench -exp E7 -json > $@

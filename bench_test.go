@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"semcc"
 	"semcc/adts"
@@ -392,6 +393,75 @@ func BenchmarkMethodInvocationParallelStore(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkMethodInvocationParallelWAL — the same disjoint-object
+// parallel method workload as BenchmarkMethodInvocationParallel, but
+// sweeping the journal durability mode: no journal, the per-record
+// synchronous log, the group-commit pipeline, and async durability.
+// The journal modes run on a simulated device charging a fixed 20µs
+// per flush (an optimistic fsync): sync serialises every journal
+// record on it (~4 records per transaction here), group commit
+// coalesces racing commits into shared batches (the recs/flush
+// metric), async never flushes on the commit path. The group-vs-sync
+// gap is the group-commit win and grows with GOMAXPROCS >= 8.
+func BenchmarkMethodInvocationParallelWAL(b *testing.B) {
+	const dev = 20 * time.Microsecond
+	modes := []struct {
+		name string
+		cfg  *semcc.WALConfig
+	}{
+		{"none", nil},
+		{"sync", &semcc.WALConfig{Mode: semcc.WALSync, FlushDelay: dev}},
+		{"group", &semcc.WALConfig{Mode: semcc.WALGroup, FlushDelay: dev}},
+		{"async", &semcc.WALConfig{Mode: semcc.WALAsync, FlushDelay: dev}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			var j semcc.Journal
+			opts := oodb.Options{Protocol: core.Semantic}
+			if m.cfg != nil {
+				j = semcc.NewJournal(*m.cfg)
+				defer j.Close()
+				opts.Journal = j
+			}
+			db := oodb.Open(opts)
+			if err := adts.RegisterTypes(db); err != nil {
+				b.Fatal(err)
+			}
+			const nCtrs = 256
+			ctrs := make([]semcc.OID, nCtrs)
+			for i := range ctrs {
+				c, err := adts.NewCounter(db, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctrs[i] = c
+			}
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				c := ctrs[int(next.Add(1)-1)%nCtrs]
+				for pb.Next() {
+					tx := db.Begin()
+					if _, err := tx.Call(c, adts.CInc, semcc.Int(1)); err != nil {
+						b.Error(err)
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if j != nil {
+				if st := j.Stats(); st.Flushes > 0 {
+					b.ReportMetric(float64(st.Durable)/float64(st.Flushes), "recs/flush")
+				}
+			}
 		})
 	}
 }

@@ -1,5 +1,5 @@
 // Command semcc-bench runs the performance experiments (DESIGN.md §4,
-// E1–E6) and prints their tables. Every experiment compares the
+// E1–E7) and prints their tables. Every experiment compares the
 // paper's semantic open-nested protocol against the conventional
 // baselines on the order-entry workload.
 //
@@ -11,6 +11,12 @@
 //	semcc-bench -lockmgr=global    # run on the single-mutex lock table
 //	semcc-bench -store=global      # run on the single-shard object store
 //	semcc-bench -pool=global       # run on the single-mutex buffer pool
+//	semcc-bench -wal=group         # attach a group-commit journal to
+//	                               # every experiment point (-wal=sync,
+//	                               # group or async; default none)
+//	semcc-bench -wal=group -walbatch 128 -waldelay 1ms   # batch knobs
+//	semcc-bench -exp E7 -json      # durability-mode sweep as JSON
+//	                               # (the checked-in BENCH_6.json)
 //	semcc-bench -hot               # contention profile per protocol:
 //	                               # top-K hottest objects + per-case
 //	                               # wait-time histograms + case mix
@@ -35,19 +41,23 @@ import (
 	"semcc/internal/harness"
 	"semcc/internal/obs"
 	"semcc/internal/storage"
+	"semcc/internal/wal"
 	"semcc/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E6); empty runs all")
+	exp := flag.String("exp", "", "experiment id (E1..E7); empty runs all")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	lockmgr := flag.String("lockmgr", "striped", "lock table implementation: striped or global")
 	store := flag.String("store", "sharded", "object store layout: sharded or global (single shard)")
 	storeShards := flag.Int("storeshards", 0, "with -store=sharded: shard count override (0 = default)")
 	pool := flag.String("pool", "partitioned", "buffer pool implementation: partitioned or global")
+	walMode := flag.String("wal", "none", "journal attached to every experiment point: none, sync, group or async")
+	walBatch := flag.Int("walbatch", 0, "with -wal=group|async: records per batch before a forced flush (0 = default)")
+	walDelay := flag.Duration("waldelay", 0, "with -wal=group|async: max age of an unflushed record (0 = default)")
 	hot := flag.Bool("hot", false, "run the contention profiler instead of the experiment tables")
 	traceN := flag.Int("trace", 0, "with -hot: also print the last N trace events")
-	asJSON := flag.Bool("json", false, "with -hot: print the expvar-style JSON snapshot")
+	asJSON := flag.Bool("json", false, "with -hot: the expvar-style JSON snapshot; with -exp E7: the durability sweep as JSON")
 	topK := flag.Int("topk", 10, "with -hot: number of hottest objects to report")
 	items := flag.Int("items", 4, "with -hot: number of items (contention falls as it grows)")
 	mpl := flag.Int("mpl", 16, "with -hot: multiprogramming level")
@@ -79,6 +89,15 @@ func main() {
 	}
 	harness.SetStoreConfig(shards, pk)
 
+	if *walMode != "" && *walMode != "none" {
+		m, err := wal.ParseMode(*walMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		harness.SetWAL(&wal.Config{Mode: m, MaxBatch: *walBatch, MaxDelay: *walDelay})
+	}
+
 	var served *obs.Obs
 	if *serve != "" {
 		served = obs.New(obs.Config{
@@ -105,6 +124,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "profile done; observability endpoint still serving (^C to exit)")
 			select {}
 		}
+		return
+	}
+
+	if *asJSON && *exp == "E7" {
+		out, err := harness.WALSweepJSON(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
 		return
 	}
 

@@ -51,9 +51,43 @@ type JournalRecord struct {
 }
 
 // Journal receives engine journal records. Implementations must be
-// safe for concurrent use.
+// safe for concurrent use. Append fixes the record's position in the
+// journal's total order before it returns; whether the record is also
+// *durable* on return is the implementation's durability mode (the
+// synchronous log forces every record, the group-commit log defers to
+// a batched flush — see AckJournal).
 type Journal interface {
 	Append(rec JournalRecord)
+}
+
+// Ack is a durability future for one journal record. Wait blocks
+// until the record's batch is durable; the zero Ack is already
+// durable and Wait returns immediately.
+type Ack struct {
+	// C, when non-nil, is closed once the record is durable.
+	C <-chan struct{}
+}
+
+// Wait parks until the acknowledged record is durable.
+func (a Ack) Wait() {
+	if a.C != nil {
+		<-a.C
+	}
+}
+
+// AckJournal is implemented by journals that decouple record
+// submission from durability (the group-commit pipeline). AppendAck
+// submits rec exactly like Append — its position in the journal order
+// is fixed on return — and additionally returns an Ack resolved when
+// rec has reached durable storage. A journal in asynchronous
+// durability mode may return an already-resolved Ack before the flush
+// (throughput-over-latency; a crash can then lose acknowledged
+// outcomes). The engine uses AppendAck for root outcome records and
+// parks the committing goroutine on the Ack, so a top-level commit or
+// abort only returns once it is durable under sync and group modes.
+type AckJournal interface {
+	Journal
+	AppendAck(rec JournalRecord) Ack
 }
 
 // Hooks are optional engine callbacks used by deterministic tests and
@@ -132,7 +166,10 @@ type Engine struct {
 	table   compat.Table
 	record  bool
 	journal Journal
-	tr      *trace.Tracer
+	// ackJournal is the journal's AckJournal view, resolved once at
+	// construction; nil when the journal (or none) is submit==durable.
+	ackJournal AckJournal
+	tr         *trace.Tracer
 	spans   *obs.SpanRecorder // nil when no Obs is attached
 
 	// exec runs a compensating invocation as a child of the given
@@ -183,6 +220,9 @@ func New(cfg Config) *Engine {
 		lm:      lm,
 		stats:   stats,
 	}
+	if aj, ok := cfg.Journal.(AckJournal); ok {
+		e.ackJournal = aj
+	}
 	if cfg.Obs != nil {
 		e.spans = cfg.Obs.Spans
 		stats.register(cfg.Obs.Registry)
@@ -219,6 +259,30 @@ func (e *Engine) journalAppend(t *Tx, rec JournalRecord) {
 		return
 	}
 	e.journal.Append(rec)
+}
+
+// journalCommit is the submit-then-wait half of the commit pipeline:
+// it submits rec (fixing its position in the journal order, exactly
+// like journalAppend) and then parks until the journal acknowledges
+// the record durable. Under the synchronous log the ack is immediate;
+// under the group-commit log the goroutine parks until its batch is
+// flushed (commits racing here share one flush); under async
+// durability the ack resolves before the flush and this degenerates
+// to a plain append. The whole submit+wait is charged to the span's
+// WAL time, so ack latency is attributable per transaction. Call only
+// when e.journal is non-nil.
+func (e *Engine) journalCommit(t *Tx, rec JournalRecord) {
+	if e.ackJournal == nil {
+		e.journalAppend(t, rec)
+		return
+	}
+	if sp := t.span; sp != nil {
+		start := time.Now()
+		e.ackJournal.AppendAck(rec).Wait()
+		sp.AddWAL(uint64(time.Since(start)))
+		return
+	}
+	e.ackJournal.AppendAck(rec).Wait()
 }
 
 // Tracer returns the attached observability tracer (nil when none was
@@ -364,8 +428,12 @@ func (e *Engine) CommitRoot(t *Tx) error {
 	// Write-ahead ordering: journal the commit before it becomes
 	// observable (state transition, lock release, waiter wake-up), so
 	// a crash cannot leave winners the journal still lists as losers.
+	// Under a group-commit journal the record's position in the
+	// journal order is still fixed here, but the goroutine parks
+	// until the batch containing it is durable (write-ahead at batch
+	// granularity); async durability mode skips the wait.
 	if e.journal != nil {
-		e.journalAppend(t, JournalRecord{Kind: JRootCommit, Node: t.id})
+		e.journalCommit(t, JournalRecord{Kind: JRootCommit, Node: t.id})
 	}
 	t.setState(Committed)
 	t.endSeq = e.seq.Add(1)
@@ -447,7 +515,14 @@ func (e *Engine) abortNode(t *Tx) error {
 	// Aborted, locks released) — a crash in between re-runs an empty
 	// pending list, never un-aborts the tree.
 	if firstErr == nil && e.journal != nil {
-		e.journalAppend(t, JournalRecord{Kind: JNodeAborted, Node: t.id})
+		// Root aborts are top-level outcomes like commits: park until
+		// the record is durable. Subtransaction rollbacks stay
+		// fire-and-forget — their parent's outcome subsumes them.
+		if t.IsRoot() {
+			e.journalCommit(t, JournalRecord{Kind: JNodeAborted, Node: t.id})
+		} else {
+			e.journalAppend(t, JournalRecord{Kind: JNodeAborted, Node: t.id})
+		}
 	}
 	t.eachNode(func(n *Tx) {
 		if n.State() == Active {

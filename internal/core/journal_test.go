@@ -9,7 +9,10 @@ import (
 	"semcc/internal/val"
 )
 
-// memJournal collects records for assertions.
+// memJournal collects records for assertions. The tests here pin the
+// engine's emission discipline in isolation; journal_contract_test.go
+// runs the same contract against all three real Journal
+// implementations (sync / group / async) through the full stack.
 type memJournal struct {
 	mu   sync.Mutex
 	recs []JournalRecord

@@ -6,6 +6,7 @@ import (
 	"semcc/internal/core"
 	"semcc/internal/obs"
 	"semcc/internal/storage"
+	"semcc/internal/wal"
 	"semcc/internal/workload"
 )
 
@@ -62,6 +63,11 @@ func runPoint(cfg workload.Config) (workload.Metrics, error) {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.New(obs.Config{})
 		cfg.Obs.SetEnabled(true)
+	}
+	if cfg.Journal == nil && walCfg != nil {
+		j := wal.New(*walCfg)
+		defer j.Close()
+		cfg.Journal = j
 	}
 	return workload.Run(cfg)
 }

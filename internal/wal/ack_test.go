@@ -1,0 +1,132 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"semcc/internal/core"
+	"semcc/internal/oid"
+	"semcc/internal/oodb"
+	"semcc/internal/val"
+)
+
+// durableOutcome reports whether the durable image holds a JRootCommit
+// for root id.
+func durableOutcome(t *testing.T, j Journal, id uint64) bool {
+	t.Helper()
+	l, _, err := UnmarshalDurable(j.DurableBytes())
+	if err != nil {
+		t.Fatalf("decode durable image: %v", err)
+	}
+	for _, r := range l.RecordsFrom(0) {
+		if r.Kind == core.JRootCommit && r.Node == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCommitAckDurability is the commit-ACK contract under real
+// concurrency (run it with -race): N goroutines commit top-level
+// transactions on disjoint objects, and in the sync and group modes
+// each one must find its own JRootCommit record in the durable image
+// the moment Commit returns — the write-ahead guarantee the engine's
+// ack parking provides. Small batch and delay knobs keep the group
+// writer flushing under contention rather than degenerating to
+// per-commit flushes.
+func TestCommitAckDurability(t *testing.T) {
+	for _, mode := range []Mode{ModeSync, ModeGroup} {
+		t.Run(mode.String(), func(t *testing.T) {
+			j := New(Config{Mode: mode, MaxBatch: 8, MaxDelay: 100 * time.Microsecond})
+			defer j.Close()
+			db := oodb.Open(oodb.Options{Protocol: core.Semantic, Journal: j})
+
+			const goroutines, commits = 8, 6
+			objs := make([]oid.OID, goroutines)
+			for i := range objs {
+				a, err := db.Store().NewAtomic(val.OfInt(0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				objs[i] = a
+			}
+
+			errs := make(chan error, goroutines*commits)
+			var wg sync.WaitGroup
+			for i := 0; i < goroutines; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for c := 0; c < commits; c++ {
+						tx := db.Begin()
+						id := tx.Root().ID()
+						if err := tx.Put(objs[i], val.OfInt(int64(c))); err != nil {
+							errs <- fmt.Errorf("goroutine %d commit %d: put: %w", i, c, err)
+							return
+						}
+						if err := tx.Commit(); err != nil {
+							errs <- fmt.Errorf("goroutine %d commit %d: %w", i, c, err)
+							return
+						}
+						if !durableOutcome(t, j, id) {
+							errs <- fmt.Errorf("goroutine %d commit %d: root %d acked but not durable", i, c, id)
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestAsyncAckBeforeFlush pins the async mode's weaker contract from
+// both sides, deterministically: with a batch that can never fill and
+// a delay that can never elapse, Commit returns with the outcome
+// acknowledged but NOT in the durable image (the crash window async
+// mode accepts by design), the record's position in the journal order
+// is nevertheless fixed, and a Sync barrier makes everything durable.
+func TestAsyncAckBeforeFlush(t *testing.T) {
+	g := NewGroupLog(Config{Mode: ModeAsync, MaxBatch: 1 << 12, MaxDelay: time.Hour})
+	defer g.Close()
+	db := oodb.Open(oodb.Options{Protocol: core.Semantic, Journal: g})
+
+	const n = 8
+	ids := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		a, err := db.Store().NewAtomic(val.OfInt(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx := db.Begin()
+		ids[i] = tx.Root().ID()
+		if err := tx.Put(a, val.OfInt(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if durableOutcome(t, g, ids[i]) {
+			t.Fatalf("commit %d: outcome durable before any flush trigger — async mode flushed early", i)
+		}
+	}
+	if got := g.Stats(); got.Durable != 0 || got.Records == 0 {
+		t.Fatalf("stats = %+v, want submitted records and an empty durable image", got)
+	}
+
+	g.Sync()
+	for i, id := range ids {
+		if !durableOutcome(t, g, id) {
+			t.Fatalf("commit %d (root %d): outcome missing after Sync", i, id)
+		}
+	}
+	if got := g.Stats(); got.Durable != got.Records {
+		t.Fatalf("stats after Sync = %+v, want fully durable", got)
+	}
+}

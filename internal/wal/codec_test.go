@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"strings"
+	"testing"
+
+	"semcc/internal/compat"
+	"semcc/internal/core"
+	"semcc/internal/oid"
+	"semcc/internal/val"
+)
+
+// TestRecordBytesExact pins recordBytes to the actual encoder: the
+// metrics byte counter computes sizes arithmetically on the append hot
+// path (no marshalling), so any drift between it and appendRecord
+// would silently misreport durable byte volume. Every record kind, the
+// nil/non-nil invocation split, the splice flag, multi-byte varint
+// ids, and zero/one/many-argument methods are covered.
+func TestRecordBytesExact(t *testing.T) {
+	noArgs := compat.Inv(oid.OID{K: oid.Atomic, N: 1}, "Inc")
+	multi := compat.Inv(oid.OID{K: oid.Tuple, N: 1 << 40}, "TransferFunds",
+		val.OfInt(-7), val.OfStr(strings.Repeat("x", 300)), val.OfFloat(3.25),
+		val.OfBool(true), val.OfRef(oid.OID{K: oid.Set, N: 1 << 21}),
+		val.OfEvents("shipped", "paid"), val.NullV)
+	splice := compat.Inv(oid.OID{K: oid.Set, N: 2}, "Insert",
+		val.OfRef(oid.OID{K: oid.Tuple, N: 9}))
+
+	cases := []core.JournalRecord{
+		{Kind: core.JBeginRoot, Node: 1},
+		{Kind: core.JBeginRoot, Node: 1 << 50},
+		{Kind: core.JBegin, Node: 2, Parent: 1, Inv: &noArgs},
+		{Kind: core.JBegin, Node: 1 << 14, Parent: 1 << 28, Inv: &multi},
+		{Kind: core.JSubCommit, Node: 2, Inv: &multi},
+		{Kind: core.JSubCommit, Node: 2, Parent: 1, Splice: true, Inv: &splice},
+		{Kind: core.JSubCommit, Node: 3, Splice: true},
+		{Kind: core.JAbortStart, Node: 1},
+		{Kind: core.JCompensated, Node: 1, Inv: &noArgs},
+		{Kind: core.JNodeAborted, Node: 1},
+		{Kind: core.JRootCommit, Node: 1},
+		{Kind: core.JRootCommit, Node: 300, Parent: 300},
+	}
+	for i, r := range cases {
+		want := len(appendRecord(nil, r))
+		if got := recordBytes(r); got != uint64(want) {
+			t.Errorf("case %d (%v): recordBytes = %d, marshalled size = %d", i, r.Kind, got, want)
+		}
+	}
+}
+
+// buildBigLog appends n synthetic records.
+func buildBigLog(n int) *Log {
+	inv := compat.Inv(oid.OID{K: oid.Tuple, N: 5}, "UnshipOrder", val.OfInt(3))
+	l := NewLog()
+	for i := 0; i < n; i++ {
+		l.Append(core.JournalRecord{Kind: core.JBegin, Node: uint64(i + 2), Parent: 1, Inv: &inv})
+	}
+	return l
+}
+
+// BenchmarkLogSnapshot compares the two ways a repeated reader (a
+// polling test, an incremental analysis pass) can snapshot a journal:
+// Records copies all n records every time, RecordsFrom copies only the
+// unseen tail — the difference is what motivated RecordsFrom.
+func BenchmarkLogSnapshot(b *testing.B) {
+	const n = 10_000
+	b.Run("Records", func(b *testing.B) {
+		l := buildBigLog(n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(l.Records()) != n {
+				b.Fatal("bad snapshot")
+			}
+		}
+	})
+	b.Run("RecordsFrom", func(b *testing.B) {
+		l := buildBigLog(n)
+		seen := 0
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seen += len(l.RecordsFrom(seen))
+			if seen != n {
+				b.Fatal("bad snapshot")
+			}
+		}
+	})
+}

@@ -75,32 +75,22 @@ func crashScenario(db *oodb.DB, app *orderentry.App) error {
 	return tx1.Abort()
 }
 
-// TestRecoveryAtEveryRecordBoundary truncates the journal at every
-// record boundary of the crash scenario and asserts that recovery
-// restores a serial-prefix-equivalent state: everything up to the last
-// durable top-level commit survives, everything after it is undone.
-// The sweep exercises recovery completeness at every durable prefix:
-// partial winner work is fully undone, mid-abort compensation resumes
-// without double-applying (the compensation-child accounting window),
-// and quantity conservation holds throughout. The write-ahead ordering
-// itself is pinned separately by TestJournalWriteAheadOfStateTransitions
-// in internal/core — its payoff is under concurrency, where a waiter
-// woken before the waker's outcome record was durable could journal
-// effects the log then attributes to the wrong prefix.
-func TestRecoveryAtEveryRecordBoundary(t *testing.T) {
-	cfg := orderentry.DefaultConfig()
-
-	// Reference states on twin rigs (Setup is deterministic, so
-	// logical snapshots are comparable across instances).
-	refInitial := func() []orderentry.ItemState {
+// refStates computes the two reference snapshots the crash sweeps
+// compare against: the store right after Setup (nothing survived) and
+// the store after T0's commit (the only durable winner the scenario
+// can leave). Setup is deterministic, so logical snapshots are
+// comparable across instances.
+func refStates(t *testing.T, cfg orderentry.Config) (initial, winner []orderentry.ItemState) {
+	t.Helper()
+	{
 		db := oodb.Open(oodb.Options{Protocol: core.Semantic})
 		app, err := orderentry.Setup(db, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return snapshotOf(t, app)
-	}()
-	refWinner := func() []orderentry.ItemState {
+		initial = snapshotOf(t, app)
+	}
+	{
 		db := oodb.Open(oodb.Options{Protocol: core.Semantic})
 		app, err := orderentry.Setup(db, cfg)
 		if err != nil {
@@ -115,23 +105,25 @@ func TestRecoveryAtEveryRecordBoundary(t *testing.T) {
 		if err := tx.Commit(); err != nil {
 			t.Fatal(err)
 		}
-		return snapshotOf(t, app)
-	}()
-
-	// Dry run: total record count and the (1-based) position of T0's
-	// JRootCommit record, the serial-prefix watershed.
-	dry := &crashJournal{}
-	{
-		db := oodb.Open(oodb.Options{Protocol: core.Semantic, Journal: dry})
-		app, err := orderentry.Setup(db, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := crashScenario(db, app); err != nil {
-			t.Fatal(err)
-		}
+		winner = snapshotOf(t, app)
 	}
-	total := len(dry.recs)
+	return initial, winner
+}
+
+// dryRun journals the whole scenario without crashing and returns the
+// record sequence plus the 1-based position of T0's JRootCommit
+// record — the serial-prefix watershed of the sweeps.
+func dryRun(t *testing.T, cfg orderentry.Config) ([]core.JournalRecord, int) {
+	t.Helper()
+	dry := &crashJournal{}
+	db := oodb.Open(oodb.Options{Protocol: core.Semantic, Journal: dry})
+	app, err := orderentry.Setup(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crashScenario(db, app); err != nil {
+		t.Fatal(err)
+	}
 	rootCommitIdx := 0
 	for i, r := range dry.recs {
 		if r.Kind == core.JRootCommit {
@@ -139,9 +131,72 @@ func TestRecoveryAtEveryRecordBoundary(t *testing.T) {
 			break
 		}
 	}
-	if total < 10 || rootCommitIdx == 0 {
-		t.Fatalf("scenario journals %d records, root commit at %d — too small to sweep", total, rootCommitIdx)
+	if len(dry.recs) < 10 || rootCommitIdx == 0 {
+		t.Fatalf("scenario journals %d records, root commit at %d — too small to sweep", len(dry.recs), rootCommitIdx)
 	}
+	return dry.recs, rootCommitIdx
+}
+
+// crashAt reruns the scenario against a journal that panics once the
+// cut-th record is appended (cut == total runs to completion) and
+// returns the surviving database — the store image the crash model
+// pairs with a journal truncated at that record boundary — plus the
+// records the journal held at the crash.
+func crashAt(t *testing.T, cfg orderentry.Config, cut, total int) (*oodb.DB, []core.JournalRecord) {
+	t.Helper()
+	j := &crashJournal{limit: cut}
+	if cut >= total {
+		j.limit = 0
+	}
+	if cut == 0 {
+		// Boundary 0: nothing of the scenario is durable. The first
+		// record (tx0's JBeginRoot) has no store effect, so the store
+		// image right after it equals the post-Setup store.
+		j.limit = 1
+	}
+	db := oodb.Open(oodb.Options{Protocol: core.Semantic, Journal: j})
+	app, err := orderentry.Setup(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := false
+	func() {
+		defer func() {
+			switch r := recover(); {
+			case r == nil:
+			case r == errCrash:
+				crashed = true
+			default:
+				panic(r)
+			}
+		}()
+		if err := crashScenario(db, app); err != nil {
+			t.Fatalf("cut %d: scenario failed before crash point: %v", cut, err)
+		}
+	}()
+	if !crashed && cut != 0 && cut < total {
+		t.Fatalf("cut %d: crash point never reached", cut)
+	}
+	return db, j.recs
+}
+
+// TestRecoveryAtEveryRecordBoundary truncates the journal at every
+// record boundary of the crash scenario and asserts that recovery
+// restores a serial-prefix-equivalent state: everything up to the last
+// durable top-level commit survives, everything after it is undone.
+// The sweep exercises recovery completeness at every durable prefix:
+// partial winner work is fully undone, mid-abort compensation resumes
+// without double-applying (the compensation-child accounting window),
+// and quantity conservation holds throughout. The write-ahead ordering
+// itself is pinned separately by TestJournalWriteAheadOfStateTransitions
+// in internal/core — its payoff is under concurrency, where a waiter
+// woken before the waker's outcome record was durable could journal
+// effects the log then attributes to the wrong prefix.
+func TestRecoveryAtEveryRecordBoundary(t *testing.T) {
+	cfg := orderentry.DefaultConfig()
+	refInitial, refWinner := refStates(t, cfg)
+	dryRecs, rootCommitIdx := dryRun(t, cfg)
+	total := len(dryRecs)
 
 	// Under -short, stride over the sweep but always keep both sides
 	// of the watershed and the final record.
@@ -160,63 +215,38 @@ func TestRecoveryAtEveryRecordBoundary(t *testing.T) {
 		}
 	}
 	sort.Ints(cuts)
-	{
-		for _, cut := range cuts {
-			j := &crashJournal{limit: cut}
-			db := oodb.Open(oodb.Options{Protocol: core.Semantic, Journal: j})
-			app, err := orderentry.Setup(db, cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			crashed := false
-			func() {
-				defer func() {
-					switch r := recover(); {
-					case r == nil:
-					case r == errCrash:
-						crashed = true
-					default:
-						panic(r)
-					}
-				}()
-				if err := crashScenario(db, app); err != nil {
-					t.Fatalf("cut %d: scenario failed before crash point: %v", cut, err)
-				}
-			}()
-			if !crashed && cut < total {
-				t.Fatalf("cut %d: crash point never reached (%d records)", cut, len(j.recs))
-			}
+	for _, cut := range cuts {
+		db, crashRecs := crashAt(t, cfg, cut, total)
 
-			// Restart: the journal prefix crosses the crash in
-			// serialised form, the store survives as-is.
-			l := NewLog()
-			for _, r := range j.recs {
-				l.Append(r)
-			}
-			recovered, err := Unmarshal(l.Marshal())
-			if err != nil {
-				t.Fatalf("cut %d: unmarshal: %v", cut, err)
-			}
-			db2 := oodb.Reopen(db, oodb.Options{Protocol: core.Semantic})
-			if _, err := Recover(db2, recovered); err != nil {
-				t.Fatalf("cut %d: recover: %v", cut, err)
-			}
-			app2, err := orderentry.Attach(db2)
-			if err != nil {
-				t.Fatalf("cut %d: attach: %v", cut, err)
-			}
-			states := snapshotOf(t, app2)
-			if err := orderentry.CheckConservation(states, int64(cfg.InitialQOH)); err != nil {
-				t.Errorf("cut %d/%d: conservation violated after recovery: %v", cut, total, err)
-			}
-			want, name := refInitial, "initial"
-			if cut >= rootCommitIdx {
-				want, name = refWinner, "winner"
-			}
-			if !reflect.DeepEqual(states, want) {
-				t.Errorf("cut %d/%d: recovered state diverges from the %s reference:\n got %+v\nwant %+v",
-					cut, total, name, states, want)
-			}
+		// Restart: the journal prefix crosses the crash in serialised
+		// form, the store survives as-is.
+		l := NewLog()
+		for _, r := range crashRecs {
+			l.Append(r)
+		}
+		recovered, err := Unmarshal(l.Marshal())
+		if err != nil {
+			t.Fatalf("cut %d: unmarshal: %v", cut, err)
+		}
+		db2 := oodb.Reopen(db, oodb.Options{Protocol: core.Semantic})
+		if _, err := Recover(db2, recovered); err != nil {
+			t.Fatalf("cut %d: recover: %v", cut, err)
+		}
+		app2, err := orderentry.Attach(db2)
+		if err != nil {
+			t.Fatalf("cut %d: attach: %v", cut, err)
+		}
+		states := snapshotOf(t, app2)
+		if err := orderentry.CheckConservation(states, int64(cfg.InitialQOH)); err != nil {
+			t.Errorf("cut %d/%d: conservation violated after recovery: %v", cut, total, err)
+		}
+		want, name := refInitial, "initial"
+		if cut >= rootCommitIdx {
+			want, name = refWinner, "winner"
+		}
+		if !reflect.DeepEqual(states, want) {
+			t.Errorf("cut %d/%d: recovered state diverges from the %s reference:\n got %+v\nwant %+v",
+				cut, total, name, states, want)
 		}
 	}
 }

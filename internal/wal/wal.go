@@ -35,11 +35,25 @@ import (
 	"semcc/internal/val"
 )
 
-// Log is an in-memory write-ahead log implementing core.Journal. Use
-// Marshal/Unmarshal to simulate durable storage.
+// Log is an in-memory write-ahead log implementing core.Journal in
+// the synchronous durability mode: every Append forces its record to
+// the durable image (one single-record batch frame) before returning,
+// so submit == durable and each commit pays its own flush. It is the
+// baseline the group-commit pipeline (GroupLog) is measured against.
+// Marshal/Unmarshal serialise the flat record sequence;
+// DurableBytes/UnmarshalDurable expose the framed durable image.
 type Log struct {
 	mu   sync.Mutex
 	recs []core.JournalRecord
+	// durable is the batch-framed image on simulated stable storage;
+	// for the synchronous log it always covers all of recs.
+	durable []byte
+	flushes uint64
+	// flushDelay is the simulated fixed device latency charged per
+	// flush, while holding mu — synchronous flushes serialise on the
+	// device. Zero (the default, and NewLog's only mode) makes flushes
+	// free, which is what the recovery and crash tests want.
+	flushDelay time.Duration
 	// om carries the attached observability metrics; an atomic pointer
 	// because Append reads it before taking the log mutex.
 	om atomic.Pointer[logObs]
@@ -71,8 +85,8 @@ func (l *Log) AttachObs(o *obs.Obs) {
 		o:        o,
 		appends:  o.Registry.Counter("semcc_wal_appends_total", "Journal records appended (while obs is enabled)."),
 		bytes:    o.Registry.Counter("semcc_wal_append_bytes_total", "Marshalled size of appended journal records."),
-		flushes:  o.Registry.Counter("semcc_wal_flushes_total", "Log flushes to durable bytes (Marshal calls)."),
-		flushed:  o.Registry.Counter("semcc_wal_flush_bytes_total", "Bytes written by log flushes."),
+		flushes:  o.Registry.Counter("semcc_wal_flushes_total", "Durable-image flushes (one per append for the sync log, one per batch for the group log)."),
+		flushed:  o.Registry.Counter("semcc_wal_flush_bytes_total", "Bytes written by durable-image flushes."),
 		appendNs: o.Registry.Hist("semcc_wal_append_ns", "Journal append latency, nanoseconds."),
 	}
 	o.Registry.GaugeFunc("semcc_wal_records", "Journal records currently retained.", func() int64 { return int64(l.Len()) })
@@ -100,21 +114,53 @@ func recordBytes(r core.JournalRecord) uint64 {
 	return uint64(n)
 }
 
-// Append implements core.Journal.
+// Append implements core.Journal. The record is forced to the durable
+// image before Append returns — the synchronous log's whole durability
+// mode, and the per-commit serialization cost group commit amortises.
 func (l *Log) Append(rec core.JournalRecord) {
 	if m := l.om.Load(); m.on() {
 		start := time.Now()
 		l.mu.Lock()
-		l.recs = append(l.recs, rec)
+		before := len(l.durable)
+		l.appendLocked(rec)
+		delta := len(l.durable) - before
 		l.mu.Unlock()
 		m.appendNs.Observe(uint64(time.Since(start)))
 		m.appends.Inc()
 		m.bytes.Add(recordBytes(rec))
+		m.flushes.Inc()
+		m.flushed.Add(uint64(delta))
 		return
 	}
 	l.mu.Lock()
-	l.recs = append(l.recs, rec)
+	l.appendLocked(rec)
 	l.mu.Unlock()
+}
+
+// appendLocked appends rec and forces it durable (mu held).
+func (l *Log) appendLocked(rec core.JournalRecord) {
+	l.recs = append(l.recs, rec)
+	l.durable = appendFrame(l.durable, l.recs[len(l.recs)-1:])
+	l.flushes++
+	if l.flushDelay > 0 {
+		busyWait(l.flushDelay)
+	}
+}
+
+// busyWait burns CPU for d. The simulated device has to charge tens of
+// microseconds accurately; time.Sleep cannot — its granularity on
+// coarse-timer hosts is a millisecond or more, which would flatten
+// every FlushDelay setting to the same cost.
+func busyWait(d time.Duration) {
+	for end := time.Now().Add(d); time.Now().Before(end); {
+	}
+}
+
+// AppendAck implements core.AckJournal. The synchronous log is durable
+// when the embedded Append returns, so the Ack is already resolved.
+func (l *Log) AppendAck(rec core.JournalRecord) core.Ack {
+	l.Append(rec)
+	return core.Ack{}
 }
 
 // Len returns the number of records.
@@ -131,50 +177,97 @@ func (l *Log) Records() []core.JournalRecord {
 	return append([]core.JournalRecord(nil), l.recs...)
 }
 
+// RecordsFrom returns a snapshot of the records at index i and above
+// (RecordsFrom(0) equals Records()). Incremental readers — recovery's
+// analysis pass, polling tests — use it so a repeated snapshot copies
+// only the tail it has not seen instead of the whole log every time.
+func (l *Log) RecordsFrom(i int) []core.JournalRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(l.recs) {
+		return nil
+	}
+	return append([]core.JournalRecord(nil), l.recs[i:]...)
+}
+
+// DurableBytes returns the log's durable image: the batch-framed bytes
+// the simulation treats as having reached stable storage. For the
+// synchronous log it always covers every appended record. Decode with
+// UnmarshalDurable.
+func (l *Log) DurableBytes() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]byte(nil), l.durable...)
+}
+
+// Sync is a no-op: the synchronous log is always durable.
+func (l *Log) Sync() {}
+
+// Close is a no-op: the synchronous log has no writer goroutine.
+func (l *Log) Close() {}
+
+// Mode reports ModeSync.
+func (l *Log) Mode() Mode { return ModeSync }
+
+// Stats returns a point-in-time summary.
+func (l *Log) Stats() JournalStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return JournalStats{Records: len(l.recs), Durable: len(l.recs), Flushes: l.flushes}
+}
+
 // Reset truncates the log (checkpoint after successful recovery).
 func (l *Log) Reset() {
 	l.mu.Lock()
 	l.recs = nil
+	l.durable = nil
+	l.flushes = 0
 	l.mu.Unlock()
 }
 
-// Marshal serialises the log — the simulation's flush-to-durable-bytes
-// step, counted as one flush in the attached metrics.
+// appendRecord appends r's encoding to buf: the per-record layout
+// shared by the flat Marshal format and the batch-frame bodies.
+// recordBytes mirrors its size arithmetic; TestRecordBytesExact holds
+// the two together.
+func appendRecord(buf []byte, r core.JournalRecord) []byte {
+	buf = append(buf, byte(r.Kind))
+	buf = binary.AppendUvarint(buf, r.Node)
+	buf = binary.AppendUvarint(buf, r.Parent)
+	if r.Splice {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	if r.Inv == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		buf = append(buf, byte(r.Inv.Object.K))
+		buf = binary.AppendUvarint(buf, r.Inv.Object.N)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Inv.Method)))
+		buf = append(buf, r.Inv.Method...)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Inv.Args)))
+		for _, a := range r.Inv.Args {
+			ab := a.Marshal()
+			buf = binary.AppendUvarint(buf, uint64(len(ab)))
+			buf = append(buf, ab...)
+		}
+	}
+	return buf
+}
+
+// Marshal serialises the log's record sequence in the flat format
+// (uvarint count followed by records). This is the analysis-side
+// serialisation; the crash-model bytes live in DurableBytes.
 func (l *Log) Marshal() []byte {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	var buf []byte
-	if m := l.om.Load(); m.on() {
-		defer func() {
-			m.flushes.Inc()
-			m.flushed.Add(uint64(len(buf)))
-		}()
-	}
-	buf = binary.AppendUvarint(buf, uint64(len(l.recs)))
+	buf := binary.AppendUvarint(nil, uint64(len(l.recs)))
 	for _, r := range l.recs {
-		buf = append(buf, byte(r.Kind))
-		buf = binary.AppendUvarint(buf, r.Node)
-		buf = binary.AppendUvarint(buf, r.Parent)
-		if r.Splice {
-			buf = append(buf, 1)
-		} else {
-			buf = append(buf, 0)
-		}
-		if r.Inv == nil {
-			buf = append(buf, 0)
-		} else {
-			buf = append(buf, 1)
-			buf = append(buf, byte(r.Inv.Object.K))
-			buf = binary.AppendUvarint(buf, r.Inv.Object.N)
-			buf = binary.AppendUvarint(buf, uint64(len(r.Inv.Method)))
-			buf = append(buf, r.Inv.Method...)
-			buf = binary.AppendUvarint(buf, uint64(len(r.Inv.Args)))
-			for _, a := range r.Inv.Args {
-				ab := a.Marshal()
-				buf = binary.AppendUvarint(buf, uint64(len(ab)))
-				buf = append(buf, ab...)
-			}
-		}
+		buf = appendRecord(buf, r)
 	}
 	return buf
 }
@@ -198,6 +291,32 @@ func Unmarshal(b []byte) (*Log, error) {
 		return nil, fmt.Errorf("wal: record count %d exceeds input size %d", n, len(b))
 	}
 	p := k
+	for i := uint64(0); i < n; i++ {
+		r, np, err := decodeRecord(b, p, i)
+		if err != nil {
+			return nil, err
+		}
+		p = np
+		l.recs = append(l.recs, r)
+	}
+	// Rebuild the durable image so the invariant "a sync log's durable
+	// image covers all its records" survives deserialisation; one frame
+	// spanning the whole sequence.
+	if len(l.recs) > 0 {
+		l.durable = appendFrame(nil, l.recs)
+		l.flushes = 1
+	}
+	return l, nil
+}
+
+// decodeRecord decodes one journal record at b[p:] and returns it with
+// the new offset (i is the record's index, for error messages). Shared
+// by the flat Unmarshal format and the batch-frame bodies, and
+// hardened identically in both: every length-carrying varint is
+// validated against the bytes actually remaining before conversion to
+// int or use as an allocation size.
+func decodeRecord(b []byte, p int, i uint64) (core.JournalRecord, int, error) {
+	var r core.JournalRecord
 	next := func() (uint64, error) {
 		v, k := binary.Uvarint(b[p:])
 		if k <= 0 {
@@ -206,85 +325,81 @@ func Unmarshal(b []byte) (*Log, error) {
 		p += k
 		return v, nil
 	}
-	for i := uint64(0); i < n; i++ {
-		if p >= len(b) {
-			return nil, fmt.Errorf("wal: truncated record %d", i)
-		}
-		var r core.JournalRecord
-		r.Kind = core.JournalKind(b[p])
-		if r.Kind > core.JRootCommit {
-			return nil, fmt.Errorf("wal: record %d has invalid kind %d", i, b[p])
-		}
-		p++
-		node, err := next()
-		if err != nil {
-			return nil, err
-		}
-		parent, err := next()
-		if err != nil {
-			return nil, err
-		}
-		r.Node, r.Parent = node, parent
-		if p+2 > len(b) {
-			return nil, fmt.Errorf("wal: truncated flags in record %d", i)
-		}
-		r.Splice = b[p] == 1
-		p++
-		hasInv := b[p] == 1
-		p++
-		if hasInv {
-			if p >= len(b) {
-				return nil, fmt.Errorf("wal: truncated invocation in record %d", i)
-			}
-			kind := oid.Kind(b[p])
-			p++
-			objN, err := next()
-			if err != nil {
-				return nil, err
-			}
-			mlen, err := next()
-			if err != nil {
-				return nil, err
-			}
-			// Compare in uint64 space before converting: a huge mlen
-			// must not overflow the int addition (or the slice bound)
-			// on its way to the range check.
-			if mlen > uint64(len(b)-p) {
-				return nil, fmt.Errorf("wal: truncated method in record %d", i)
-			}
-			method := string(b[p : p+int(mlen)])
-			p += int(mlen)
-			argc, err := next()
-			if err != nil {
-				return nil, err
-			}
-			// Each argument takes at least 1 byte; clamping argc to the
-			// remaining input bounds the prealloc below by len(b).
-			if argc > uint64(len(b)-p) {
-				return nil, fmt.Errorf("wal: argument count %d exceeds input in record %d", argc, i)
-			}
-			args := make([]val.V, 0, argc)
-			for j := uint64(0); j < argc; j++ {
-				alen, err := next()
-				if err != nil {
-					return nil, err
-				}
-				if alen > uint64(len(b)-p) {
-					return nil, fmt.Errorf("wal: truncated argument in record %d", i)
-				}
-				v, _, err := val.Unmarshal(b[p : p+int(alen)])
-				if err != nil {
-					return nil, err
-				}
-				p += int(alen)
-				args = append(args, v)
-			}
-			inv := compat.Invocation{Object: oid.OID{K: kind, N: objN}, Method: method, Args: args}
-			r.Inv = &inv
-		}
-		l.recs = append(l.recs, r)
+	if p >= len(b) {
+		return r, p, fmt.Errorf("wal: truncated record %d", i)
 	}
-	return l, nil
+	r.Kind = core.JournalKind(b[p])
+	if r.Kind > core.JRootCommit {
+		return r, p, fmt.Errorf("wal: record %d has invalid kind %d", i, b[p])
+	}
+	p++
+	node, err := next()
+	if err != nil {
+		return r, p, err
+	}
+	parent, err := next()
+	if err != nil {
+		return r, p, err
+	}
+	r.Node, r.Parent = node, parent
+	if p+2 > len(b) {
+		return r, p, fmt.Errorf("wal: truncated flags in record %d", i)
+	}
+	r.Splice = b[p] == 1
+	p++
+	hasInv := b[p] == 1
+	p++
+	if hasInv {
+		if p >= len(b) {
+			return r, p, fmt.Errorf("wal: truncated invocation in record %d", i)
+		}
+		kind := oid.Kind(b[p])
+		p++
+		objN, err := next()
+		if err != nil {
+			return r, p, err
+		}
+		mlen, err := next()
+		if err != nil {
+			return r, p, err
+		}
+		// Compare in uint64 space before converting: a huge mlen
+		// must not overflow the int addition (or the slice bound)
+		// on its way to the range check.
+		if mlen > uint64(len(b)-p) {
+			return r, p, fmt.Errorf("wal: truncated method in record %d", i)
+		}
+		method := string(b[p : p+int(mlen)])
+		p += int(mlen)
+		argc, err := next()
+		if err != nil {
+			return r, p, err
+		}
+		// Each argument takes at least 1 byte; clamping argc to the
+		// remaining input bounds the prealloc below by len(b).
+		if argc > uint64(len(b)-p) {
+			return r, p, fmt.Errorf("wal: argument count %d exceeds input in record %d", argc, i)
+		}
+		args := make([]val.V, 0, argc)
+		for j := uint64(0); j < argc; j++ {
+			alen, err := next()
+			if err != nil {
+				return r, p, err
+			}
+			if alen > uint64(len(b)-p) {
+				return r, p, fmt.Errorf("wal: truncated argument in record %d", i)
+			}
+			v, _, err := val.Unmarshal(b[p : p+int(alen)])
+			if err != nil {
+				return r, p, err
+			}
+			p += int(alen)
+			args = append(args, v)
+		}
+		inv := compat.Invocation{Object: oid.OID{K: kind, N: objN}, Method: method, Args: args}
+		r.Inv = &inv
+	}
+	return r, p, nil
 }
 
 // replayNode mirrors the engine's per-node compensation state.
@@ -320,16 +435,22 @@ type Loser struct {
 	Pending []compat.Invocation
 }
 
-// Analyze replays the log and computes winners and losers with their
-// pending undo work.
-func Analyze(l *Log) (*Analysis, error) {
+// RecordSource is the read side Analyze and Recover need from a
+// journal; *Log and *GroupLog both provide it.
+type RecordSource interface {
+	RecordsFrom(i int) []core.JournalRecord
+}
+
+// Analyze replays the journal and computes winners and losers with
+// their pending undo work.
+func Analyze(l RecordSource) (*Analysis, error) {
 	nodes := make(map[uint64]*replayNode)
 	var roots []*replayNode
 	committed := make(map[uint64]bool)
 	fullyAborted := make(map[uint64]bool)
 
 	seq := 0
-	for _, r := range l.Records() {
+	for _, r := range l.RecordsFrom(0) {
 		switch r.Kind {
 		case core.JBeginRoot:
 			n := &replayNode{id: r.Node, state: core.Active, seq: seq}
@@ -467,7 +588,7 @@ func Analyze(l *Log) (*Analysis, error) {
 // db (typically a freshly Reopen-ed database sharing the crashed
 // instance's store). Each loser's pending compensations run in one
 // recovery transaction. It returns the analysis for inspection.
-func Recover(db *oodb.DB, l *Log) (*Analysis, error) {
+func Recover(db *oodb.DB, l RecordSource) (*Analysis, error) {
 	a, err := Analyze(l)
 	if err != nil {
 		return nil, err

@@ -108,6 +108,11 @@ type Config struct {
 	// PoolKind selects the buffer-pool implementation (partitioned by
 	// default; global single-mutex for ablation).
 	PoolKind storage.PoolKind
+	// Journal, when set, attaches a write-ahead journal to the run's
+	// database — the -wal durability-mode ablation (sync, group-commit
+	// or async). The caller owns its lifecycle: close a group-commit
+	// journal after the run to stop its writer.
+	Journal core.Journal
 	// Items is the number of items; contention falls as it grows.
 	Items int
 	// OrdersPerItem sizes each item's pre-created order pool. It must
@@ -220,6 +225,7 @@ func Run(cfg Config) (Metrics, error) {
 		LockTable:        cfg.LockTable,
 		StoreShards:      cfg.StoreShards,
 		PoolKind:         cfg.PoolKind,
+		Journal:          cfg.Journal,
 		Tracer:           cfg.Tracer,
 		Obs:              cfg.Obs,
 	})

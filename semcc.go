@@ -43,6 +43,7 @@ import (
 	"semcc/internal/oodb"
 	"semcc/internal/storage"
 	"semcc/internal/val"
+	"semcc/internal/wal"
 )
 
 // DB is an object-oriented database instance.
@@ -137,6 +138,40 @@ const (
 // PoolKinds lists both buffer-pool implementations in comparison
 // order.
 func PoolKinds() []PoolKind { return storage.PoolKinds() }
+
+// WALMode selects a journal durability mode (see NewJournal and
+// Options.Journal).
+type WALMode = wal.Mode
+
+// The implemented durability modes. WALSync is the per-record-flush
+// baseline; WALGroup is the group-commit pipeline (batched flushes,
+// commits park until their batch is durable); WALAsync acknowledges
+// commits before the flush, trading the durability of the last few
+// acknowledged outcomes for latency.
+const (
+	WALSync  = wal.ModeSync
+	WALGroup = wal.ModeGroup
+	WALAsync = wal.ModeAsync
+)
+
+// WALModes lists all durability modes in comparison order.
+func WALModes() []WALMode { return wal.Modes() }
+
+// WALConfig parameterises NewJournal (mode plus the group-commit
+// MaxBatch/MaxDelay knobs).
+type WALConfig = wal.Config
+
+// Journal is a write-ahead log usable as Options.Journal: record
+// inspection, the batch-framed durable image, Sync/Close lifecycle and
+// journal statistics. Close a group or async journal when done with
+// the database; an unclosed one holds a parked writer goroutine.
+type Journal = wal.Journal
+
+// JournalStats is a point-in-time journal summary.
+type JournalStats = wal.JournalStats
+
+// NewJournal builds a journal in the requested durability mode.
+func NewJournal(cfg WALConfig) Journal { return wal.New(cfg) }
 
 // ErrDeadlock is returned by operations of a transaction chosen as a
 // deadlock victim; abort the transaction and retry it.
