@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-store bench-obs bench-wal fuzz-regress race-recovery fuzz BENCH_6.json
+.PHONY: check build test race vet bench bench-store bench-obs bench-wal fuzz-regress race-recovery fuzz chaos BENCH_6.json
 
 # The full gate: what CI (and every PR) must pass. `race` runs the
 # whole suite (including the recovery and crash-point tests) under the
@@ -30,6 +30,13 @@ race:
 # the WAL (the full `race` target covers the same tests exhaustively).
 race-recovery:
 	$(GO) test -race -short -run 'Journal|Recovery|Crash|Unmarshal|Analyze' ./internal/core ./internal/wal
+
+# The deterministic chaos oracle (internal/chaos): a 500-action seeded
+# sweep with concurrent open-nested roots, kill-and-recover events,
+# WAL-mode rotation and serial-reference replay. A failure prints the
+# seed; rerun with -chaos.seed=<seed> to reproduce it byte-for-byte.
+chaos:
+	$(GO) test ./internal/chaos -run TestChaosOracle -v -chaos.actions=500 -chaos.seed=42
 
 # Replay the checked-in seed corpora (testdata/fuzz) without fuzzing:
 # the record codec (FuzzUnmarshal) and the batch-frame decoder

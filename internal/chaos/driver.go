@@ -1,0 +1,686 @@
+// The deterministic driver.
+//
+// Concurrency under test is real — every root transaction runs on its
+// own goroutine against the real engine — but the *schedule* is owned
+// by a single driver goroutine: exactly one command (action, commit,
+// abort) is in flight at any moment, and every scheduling choice comes
+// from the seeded rng. The engine's only scheduling freedom is lock
+// blocking, and the driver domesticates it:
+//
+//   - When the in-flight root blocks (Hooks.OnBlock → evBlocked), the
+//     driver force-commits every holder root, in sorted id order.
+//     Commits never block, so resolution always terminates; since at
+//     most one root is ever parked, the waits-for graph never has a
+//     cycle and the engine's deadlock paths never fire.
+//   - A woken request (Hooks.OnWake) parks on its root's resume gate
+//     until the driver has fully finished committing the holders —
+//     without the gate, the woken request would race the tail of the
+//     holder's lock release and the schedule would depend on timing.
+//
+// The trade-off is explicit: wait chains stay short and deadlock
+// victimization is not exercised here (the engine's own tests cover
+// it); in exchange every block/wake/commit sequence — and therefore
+// every journal byte — is a pure function of the seed.
+//
+// Kill-and-recover happens at quiescent points (no command in
+// flight). The live store cannot be rewound, so a crash cut must keep
+// it consistent: the driver syncs the journal, commits one or two
+// seeded roots so their commit records land as single-record batches,
+// and then truncates the durable image at a batch boundary such that
+// every dropped record is a root-commit. Analysis then sees those
+// roots — and any roots still open at the kill — as losers, and
+// recovery compensates their (fully durable) subcommits, which is
+// exactly the state the store holds. A cut is never allowed to drop
+// the current epoch's own recovery records (the epoch floor), and each
+// epoch gets a fresh journal, so the restart of engine node ids after
+// Reopen can never alias records across epochs.
+
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"semcc/internal/clock"
+	"semcc/internal/core"
+	"semcc/internal/oodb"
+	"semcc/internal/orderentry"
+	"semcc/internal/serial"
+	"semcc/internal/val"
+	"semcc/internal/wal"
+)
+
+type cmdKind int
+
+const (
+	cmdAction cmdKind = iota
+	cmdCommit
+	cmdAbort
+)
+
+type cmd struct {
+	kind cmdKind
+	ac   action
+}
+
+type evKind int
+
+const (
+	evDone evKind = iota
+	evBlocked
+	evWake
+)
+
+type event struct {
+	kind  evKind
+	root  *rootState
+	frag  string
+	err   error
+	waits []uint64 // sorted, deduped holder root core ids (evBlocked)
+}
+
+// rootState is one live root transaction and its serving goroutine.
+type rootState struct {
+	name      string
+	tx        *oodb.Tx
+	app       *orderentry.App // the epoch's app at spawn time
+	cmds      chan cmd
+	resume    chan struct{} // OnWake gate
+	plan      []action
+	next      int
+	wantAbort bool
+	executed  []action // completed prefix (what the oracle replays)
+	frags     []string
+	done      bool
+}
+
+var batchChoices = []int{2, 3, 5, 8}
+
+type driver struct {
+	cfg    Config
+	pop    orderentry.Config
+	rng    *rand.Rand
+	clk    *clock.Fake
+	gen    *gen
+	hooks  core.Hooks
+	events chan event
+	report *Report
+
+	db      *oodb.DB
+	app     *orderentry.App
+	journal wal.Journal
+
+	byCore map[uint64]*rootState // root core id → state; guarded by mu
+	mu     chan struct{}         // 1-token mutex (keeps imports lean)
+
+	live        []*rootState
+	commitLog   []*rootState // committed roots in commit order
+	rootSeq     int
+	doneActions int
+	killAt      []int
+	nextKill    int
+	injected    bool
+
+	modeSeq    []wal.Mode
+	curBatch   int
+	epochFloor int
+
+	wakePending *rootState
+	hash        uint64
+	recent      []string
+}
+
+const fnvOffset = 14695981039346656037
+const fnvPrime = 1099511628211
+
+func newDriver(cfg Config) *driver {
+	d := &driver{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		clk:    clock.NewFake(time.Unix(0, 0), time.Millisecond),
+		events: make(chan event),
+		byCore: make(map[uint64]*rootState),
+		mu:     make(chan struct{}, 1),
+		report: &Report{Seed: cfg.Seed},
+		hash:   fnvOffset,
+	}
+	d.pop = orderentry.Config{
+		Items:         3,
+		OrdersPerItem: max(8, cfg.Actions/3+4),
+		InitialQOH:    int64(cfg.Actions/20 + 2),
+		Price:         10,
+		OrderQuantity: 1,
+	}
+	d.gen = newGen(d.rng, d.pop)
+	d.hooks = core.Hooks{
+		OnBlock: func(t *core.Tx, waits []*core.Tx) {
+			r := d.rootByCore(t.Root().ID())
+			if r == nil {
+				return
+			}
+			self := t.Root().ID()
+			seen := map[uint64]bool{}
+			ids := make([]uint64, 0, len(waits))
+			for _, w := range waits {
+				id := w.Root().ID()
+				if id == self || seen[id] {
+					continue
+				}
+				seen[id] = true
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			d.events <- event{kind: evBlocked, root: r, waits: ids}
+		},
+		OnWake: func(t *core.Tx) {
+			r := d.rootByCore(t.Root().ID())
+			if r == nil {
+				return
+			}
+			d.events <- event{kind: evWake, root: r}
+			<-r.resume // park until the driver finishes the resolution
+		},
+	}
+	modes := wal.Modes()
+	for _, i := range d.rng.Perm(len(modes)) {
+		d.modeSeq = append(d.modeSeq, modes[i])
+	}
+	kills := cfg.Kills
+	for i := 1; i <= kills; i++ {
+		d.killAt = append(d.killAt, i*cfg.Actions/(kills+1))
+	}
+	d.curBatch = batchChoices[d.rng.Intn(len(batchChoices))]
+	j := wal.New(wal.Config{
+		Mode:     d.modeSeq[0],
+		MaxBatch: d.curBatch,
+		MaxDelay: time.Hour, // deterministic: only batch-full/urgent/Sync flush
+		Clock:    d.clk,
+	})
+	d.journal = j
+	d.db = oodb.Open(oodb.Options{
+		PoolFrames: cfg.PoolFrames,
+		Journal:    j,
+		Hooks:      d.hooks,
+		Clock:      d.clk,
+	})
+	app, err := orderentry.Setup(d.db, d.pop)
+	if err != nil {
+		d.fail("setup: %v", err)
+	}
+	d.app = app
+	d.epochFloor = j.Len()
+	d.tracef("seed=%d actions=%d roots=%d kills=%v mode=%s batch=%d pop=%+v",
+		cfg.Seed, cfg.Actions, cfg.Roots, d.killAt, j.Mode(), d.curBatch, d.pop)
+	return d
+}
+
+func (d *driver) rootByCore(id uint64) *rootState {
+	d.mu <- struct{}{}
+	r := d.byCore[id]
+	<-d.mu
+	return r
+}
+
+func (d *driver) fail(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	panic(failure{fmt.Sprintf("chaos seed %d: %s\nrecent trace:\n  %s",
+		d.cfg.Seed, msg, strings.Join(d.recent, "\n  "))})
+}
+
+// tracef appends one line to the execution trace: it feeds the
+// determinism fingerprint (Report.TraceHash) and a bounded ring kept
+// for failure reports.
+func (d *driver) tracef(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	h := d.hash
+	for i := 0; i < len(line); i++ {
+		h = (h ^ uint64(line[i])) * fnvPrime
+	}
+	d.hash = (h ^ '\n') * fnvPrime
+	d.recent = append(d.recent, line)
+	if len(d.recent) > 64 {
+		d.recent = d.recent[1:]
+	}
+}
+
+func hashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint64(b[i])) * fnvPrime
+	}
+	return h
+}
+
+// recv receives the next event, failing loudly rather than hanging if
+// the harness itself deadlocks.
+func (d *driver) recv() event {
+	select {
+	case e := <-d.events:
+		return e
+	case <-time.After(60 * time.Second):
+		panic(failure{fmt.Sprintf("chaos seed %d: no event within 60s (harness deadlock?)\nrecent trace:\n  %s",
+			d.cfg.Seed, strings.Join(d.recent, "\n  "))})
+	}
+}
+
+// serve is a root's goroutine: it executes commands one at a time and
+// reports each completion on the shared event channel.
+func (d *driver) serve(r *rootState) {
+	for c := range r.cmds {
+		switch c.kind {
+		case cmdAction:
+			frag, err := applyAction(r.app, r.tx, c.ac)
+			d.events <- event{kind: evDone, root: r, frag: frag, err: err}
+		case cmdCommit:
+			err := r.tx.Commit()
+			d.events <- event{kind: evDone, root: r, err: err}
+			return
+		case cmdAbort:
+			err := r.tx.Abort()
+			d.events <- event{kind: evDone, root: r, err: err}
+			return
+		}
+	}
+}
+
+func (d *driver) spawn() *rootState {
+	plan, wantAbort := d.gen.plan()
+	tx := d.db.Begin()
+	r := &rootState{
+		name:      fmt.Sprintf("r%d", d.rootSeq),
+		tx:        tx,
+		app:       d.app,
+		cmds:      make(chan cmd),
+		resume:    make(chan struct{}),
+		plan:      plan,
+		wantAbort: wantAbort,
+	}
+	d.rootSeq++
+	d.mu <- struct{}{}
+	d.byCore[tx.Root().ID()] = r
+	<-d.mu
+	d.live = append(d.live, r)
+	go d.serve(r)
+	d.tracef("spawn %s core=%d plan=%d abort=%t", r.name, tx.Root().ID(), len(plan), wantAbort)
+	return r
+}
+
+// exec dispatches one command to r and runs the event loop until r's
+// completion arrives, resolving any block along the way.
+func (d *driver) exec(r *rootState, c cmd) (string, error) {
+	r.cmds <- c
+	return d.awaitDone(r)
+}
+
+func (d *driver) awaitDone(target *rootState) (string, error) {
+	for {
+		e := d.recv()
+		switch e.kind {
+		case evBlocked:
+			if e.root != target {
+				d.fail("%s blocked while awaiting %s", e.root.name, target.name)
+			}
+			d.report.Blocks++
+			d.tracef("blocked %s waits=%v", e.root.name, e.waits)
+			d.resolveBlock(e)
+		case evWake:
+			// The parked root's lock was granted mid-resolution; hold
+			// it on its gate until the resolution completes.
+			if d.wakePending != nil {
+				d.fail("second pending wake (%s, then %s)", d.wakePending.name, e.root.name)
+			}
+			d.wakePending = e.root
+		case evDone:
+			if e.root != target {
+				d.fail("unexpected completion of %s while awaiting %s", e.root.name, target.name)
+			}
+			return e.frag, e.err
+		}
+	}
+}
+
+// resolveBlock force-commits every holder the blocked root waits for,
+// then releases the root's wake gate. The engine wakes a waiter only
+// after all waited-on holders completed, so the wake arrives exactly
+// once, after the last holder's commit.
+func (d *driver) resolveBlock(e event) {
+	for _, id := range e.waits {
+		h := d.rootByCore(id)
+		if h == nil {
+			d.fail("%s waits for unknown root core=%d", e.root.name, id)
+		}
+		if h.done {
+			continue
+		}
+		d.forceCommit(h)
+	}
+	if d.wakePending == nil {
+		// All holders committed; the wake is on its way.
+		w := d.recv()
+		if w.kind != evWake || w.root != e.root {
+			d.fail("awaiting wake of %s, got event kind=%d root=%s", e.root.name, w.kind, w.root.name)
+		}
+		d.wakePending = w.root
+	}
+	if d.wakePending != e.root {
+		d.fail("pending wake is %s, blocked root is %s", d.wakePending.name, e.root.name)
+	}
+	d.wakePending = nil
+	d.report.Wakes++
+	d.tracef("wake %s", e.root.name)
+	e.root.resume <- struct{}{}
+}
+
+func (d *driver) forceCommit(h *rootState) {
+	d.report.ForcedCommits++
+	d.tracef("forcecommit %s after %d/%d actions", h.name, h.next, len(h.plan))
+	h.cmds <- cmd{kind: cmdCommit}
+	_, err := d.awaitDone(h)
+	d.finishCommit(h, err)
+}
+
+func (d *driver) finishCommit(r *rootState, err error) {
+	if err != nil {
+		d.fail("commit of %s: %v", r.name, err)
+	}
+	r.done = true
+	d.removeLive(r)
+	d.commitLog = append(d.commitLog, r)
+	d.report.Committed++
+	d.tracef("commit %s seq=%d obs=%s", r.name, len(d.commitLog)-1, strings.Join(r.frags, ";"))
+}
+
+func (d *driver) finishAbort(r *rootState, err error) {
+	if err != nil {
+		d.fail("abort of %s: %v", r.name, err)
+	}
+	r.done = true
+	d.removeLive(r)
+	d.report.Aborted++
+	d.tracef("abort %s", r.name)
+}
+
+func (d *driver) removeLive(r *rootState) {
+	for i, x := range d.live {
+		if x == r {
+			d.live = append(d.live[:i], d.live[i+1:]...)
+			return
+		}
+	}
+}
+
+// run executes the whole schedule: spawn roots, dispatch seeded
+// actions one at a time, fire kills and the fault injection at their
+// seeded points, and drain every root to an outcome.
+func (d *driver) run() {
+	total := d.cfg.Actions
+	for d.doneActions < total || len(d.live) > 0 {
+		if d.nextKill < len(d.killAt) && d.doneActions >= d.killAt[d.nextKill] {
+			d.nextKill++
+			d.kill()
+			continue
+		}
+		if d.cfg.Inject && !d.injected && d.doneActions >= total/2 {
+			d.injected = true
+			d.inject()
+		}
+		for len(d.live) < d.cfg.Roots && d.doneActions < total {
+			d.spawn()
+		}
+		if len(d.live) == 0 {
+			break
+		}
+		r := d.live[d.rng.Intn(len(d.live))]
+		switch {
+		case r.next < len(r.plan) && d.doneActions < total:
+			ac := r.plan[r.next]
+			r.next++
+			d.doneActions++
+			d.tracef("step %s %s", r.name, ac)
+			frag, err := d.exec(r, cmd{kind: cmdAction, ac: ac})
+			if err != nil {
+				d.fail("action %s on %s: %v", ac, r.name, err)
+			}
+			r.executed = append(r.executed, ac)
+			r.frags = append(r.frags, frag)
+			if strings.HasSuffix(frag, "=stock") {
+				d.report.InsufficientStock++
+			}
+			d.tracef("done %s %s", r.name, frag)
+		case r.wantAbort:
+			d.tracef("abortreq %s", r.name)
+			_, err := d.exec(r, cmd{kind: cmdAbort})
+			d.finishAbort(r, err)
+		default:
+			_, err := d.exec(r, cmd{kind: cmdCommit})
+			d.finishCommit(r, err)
+		}
+	}
+	d.report.Epochs = append(d.report.Epochs, Epoch{
+		Mode:     d.journal.Mode().String(),
+		MaxBatch: d.curBatch,
+		Records:  d.journal.Len(),
+	})
+	d.report.Actions = d.doneActions
+}
+
+// inject is the deliberate fault: a non-transactional write bumping an
+// item's quantity-on-hand atom behind the engine's back. No serial
+// execution can produce the offset, so the oracle must report it.
+func (d *driver) inject() {
+	item, err := d.app.Item(1)
+	if err != nil {
+		d.fail("inject: %v", err)
+	}
+	atom, err := d.app.QOHAtom(item)
+	if err != nil {
+		d.fail("inject: %v", err)
+	}
+	v, err := d.db.ReadAtom(atom)
+	if err != nil {
+		d.fail("inject: %v", err)
+	}
+	if err := d.db.Store().WriteAtomic(atom, val.OfInt(v.Int()+7)); err != nil {
+		d.fail("inject: %v", err)
+	}
+	d.tracef("inject qoh(1) %d -> %d", v.Int(), v.Int()+7)
+}
+
+// kill crashes the engine at a quiescent point and recovers from the
+// journal's durable image, possibly after cutting committed work off
+// its tail (see the package comment for why the cut must drop only
+// root-commit records).
+func (d *driver) kill() {
+	j := d.journal
+	j.Sync()
+
+	// Manufacture droppable commits: commit up to two seeded open
+	// roots, each Sync-fenced so its commit record is a complete
+	// single-record batch in every mode.
+	if len(d.live) > 0 {
+		n := 1 + d.rng.Intn(min(2, len(d.live)))
+		for i := 0; i < n && len(d.live) > 0; i++ {
+			r := d.live[d.rng.Intn(len(d.live))]
+			d.tracef("precommit %s", r.name)
+			_, err := d.exec(r, cmd{kind: cmdCommit})
+			d.finishCommit(r, err)
+			j.Sync()
+		}
+	}
+
+	img := append([]byte(nil), j.DurableBytes()...)
+	recs := j.Records()
+	_, batches, err := wal.UnmarshalDurable(img)
+	if err != nil {
+		d.fail("kill: durable image corrupt before cut: %v", err)
+	}
+	if n := 0; len(batches) > 0 {
+		n = batches[len(batches)-1].End
+		if n != len(recs) {
+			d.fail("kill: durable image covers %d of %d records after Sync", n, len(recs))
+		}
+	}
+
+	// The droppable suffix: trailing batches above the epoch floor
+	// whose records are all root-commits.
+	maxDrop := 0
+	for i := len(batches) - 1; i >= 0; i-- {
+		b := batches[i]
+		start := b.End - b.Records
+		if start < d.epochFloor {
+			break
+		}
+		pure := true
+		for _, r := range recs[start:b.End] {
+			if r.Kind != core.JRootCommit {
+				pure = false
+				break
+			}
+		}
+		if !pure {
+			break
+		}
+		maxDrop++
+	}
+	drop := 0
+	if maxDrop > 0 {
+		drop = d.rng.Intn(maxDrop + 1)
+	}
+	cutEnd, cutOff := 0, 0
+	if cut := len(batches) - drop; cut > 0 {
+		cutEnd, cutOff = batches[cut-1].End, batches[cut-1].EndOff
+	}
+	keep := append([]byte(nil), img[:cutOff]...)
+	// Torn tail: a strict prefix of the next dropped frame when one
+	// exists, else a partial frame header — both must be tolerated.
+	torn := d.rng.Intn(4)
+	if torn > 0 {
+		if rest := img[cutOff:]; len(rest) > torn {
+			keep = append(keep, rest[:torn]...)
+		} else {
+			keep = append(keep, []byte{0xFF, 0xFF, 0x7F}[:torn]...)
+		}
+	}
+
+	// Reclassify the roots whose commits the cut dropped: they are a
+	// suffix of the commit order, and recovery will compensate them.
+	for i := len(recs) - 1; i >= cutEnd; i-- {
+		h := d.rootByCore(recs[i].Node)
+		if h == nil {
+			d.fail("kill: dropped commit of unknown root core=%d", recs[i].Node)
+		}
+		if n := len(d.commitLog); n == 0 || d.commitLog[n-1] != h {
+			d.fail("kill: dropped commit of %s is not the commit-order tail", h.name)
+		}
+		d.commitLog = d.commitLog[:len(d.commitLog)-1]
+		d.report.Committed--
+		d.report.CrashAborted++
+		d.tracef("crashdrop %s", h.name)
+	}
+
+	// Roots still open die with the engine; recovery rolls them back.
+	for _, r := range d.live {
+		close(r.cmds)
+		r.done = true
+		d.report.CrashAborted++
+		d.tracef("crashopen %s after %d/%d actions", r.name, r.next, len(r.plan))
+	}
+	d.live = d.live[:0]
+	d.mu <- struct{}{}
+	d.byCore = make(map[uint64]*rootState) // next epoch's node ids restart
+	<-d.mu
+
+	d.report.Epochs = append(d.report.Epochs, Epoch{
+		Mode:           j.Mode().String(),
+		MaxBatch:       d.curBatch,
+		Records:        cutEnd,
+		DroppedCommits: len(recs) - cutEnd,
+		TornBytes:      torn,
+	})
+
+	// Next epoch: fresh journal with rotated mode, engine rebuilt
+	// over the shared store, recovery from the cut image.
+	mode := d.modeSeq[(d.report.Kills+1)%len(d.modeSeq)]
+	d.curBatch = batchChoices[d.rng.Intn(len(batchChoices))]
+	nj := wal.New(wal.Config{
+		Mode:     mode,
+		MaxBatch: d.curBatch,
+		MaxDelay: time.Hour,
+		Clock:    d.clk,
+	})
+	cutLog, _, err := wal.UnmarshalDurable(keep)
+	if err != nil {
+		d.fail("kill: recovering cut image: %v", err)
+	}
+	if cutLog.Len() != cutEnd {
+		d.fail("kill: cut image decodes %d records, want %d", cutLog.Len(), cutEnd)
+	}
+	db2 := oodb.Reopen(d.db, oodb.Options{
+		PoolFrames: d.cfg.PoolFrames,
+		Journal:    nj,
+		Hooks:      d.hooks,
+		Clock:      d.clk,
+	})
+	an, err := wal.Recover(db2, cutLog)
+	if err != nil {
+		d.fail("kill: recovery: %v", err)
+	}
+	app2, err := orderentry.Attach(db2)
+	if err != nil {
+		d.fail("kill: attach: %v", err)
+	}
+	d.db, d.app, d.journal = db2, app2, nj
+	d.epochFloor = nj.Len()
+	d.report.Epochs[len(d.report.Epochs)-1].Losers = len(an.Losers)
+	d.report.Kills++
+	d.tracef("kill#%d keep=%d drop=%d torn=%d img=%016x losers=%d next=%s/%d",
+		d.report.Kills, cutEnd, len(recs)-cutEnd, torn, hashBytes(keep), len(an.Losers), mode, d.curBatch)
+	d.checkConservation(fmt.Sprintf("after recovery %d", d.report.Kills))
+}
+
+// checkConservation verifies the stock invariant at a quiescent point,
+// recording the first violation as the run's divergence.
+func (d *driver) checkConservation(when string) {
+	states, err := d.app.Snapshot()
+	if err != nil {
+		d.fail("snapshot %s: %v", when, err)
+	}
+	if err := orderentry.CheckConservation(states, d.pop.InitialQOH); err != nil && d.report.Divergence == "" {
+		d.report.Divergence = fmt.Sprintf("seed %d (%s): %v", d.cfg.Seed, when, err)
+	}
+}
+
+// oracle compares the run with a serial execution of the committed
+// roots in commit order. Under strict semantic two-phase locking with
+// retained locks, conflict order equals commit order, so the commit
+// order must reproduce every committed root's observations and the
+// final state; one linear replay suffices — no factorial search.
+func (d *driver) oracle() error {
+	state, err := d.app.ConcurrentState()
+	if err != nil {
+		return err
+	}
+	d.report.FinalState = state
+	d.checkConservation("final")
+
+	progs := make([]orderentry.Program, len(d.commitLog))
+	obs := make([]serial.Observation, len(d.commitLog))
+	order := make([]int, len(d.commitLog))
+	for i, r := range d.commitLog {
+		progs[i] = programOf(r.executed)
+		obs[i] = serial.Observation{Name: r.name, Obs: strings.Join(r.frags, ";")}
+		order[i] = i
+	}
+	ok, why, err := serial.ReplayOrder(orderentry.NewReplayFactory(d.pop, progs), obs, state, order)
+	if err != nil {
+		return err
+	}
+	if !ok && d.report.Divergence == "" {
+		d.report.Divergence = fmt.Sprintf("seed %d: commit-order replay: %s", d.cfg.Seed, why)
+	}
+	d.report.TraceHash = d.hash
+	return nil
+}

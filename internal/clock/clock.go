@@ -1,0 +1,89 @@
+// Package clock abstracts wall-time reads so deterministic harnesses
+// can inject a fake time source (the TimeProvider pattern). Production
+// code paths read time only for *measurement* — span WAL timing, lock
+// wait attribution, journal ack latency — so substituting a logical
+// clock changes no behaviour, only makes the recorded durations
+// reproducible. Scheduling timers (the lock manager's deadlock recheck,
+// the group-commit MaxDelay timer, the simulated device busy-wait) stay
+// on real time: they decide *when* something runs, and a deterministic
+// harness must make those paths unreachable (or irrelevant) rather than
+// fake them.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a time source. Implementations must be safe for concurrent
+// use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+// Wall reads the real wall clock. The zero value is ready to use; it
+// is the default everywhere a Clock is accepted.
+type Wall struct{}
+
+// Now implements Clock.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Since implements Clock.
+func (Wall) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Or returns c, or the wall clock when c is nil — the normalisation
+// every Clock-accepting config applies once at construction.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Wall{}
+	}
+	return c
+}
+
+// Fake is a deterministic logical clock: every Now advances it by a
+// fixed step, so successive readings are strictly monotone and a
+// single-threaded (or deterministically scheduled) run observes an
+// identical sequence of timestamps on every execution. Safe for
+// concurrent use; under true concurrency the reading order — and hence
+// the values — follow the goroutine interleaving, exactly like the
+// wall clock would.
+type Fake struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+// NewFake returns a fake clock starting at start, advancing by step on
+// every Now (step <= 0 selects 1µs).
+func NewFake(start time.Time, step time.Duration) *Fake {
+	if step <= 0 {
+		step = time.Microsecond
+	}
+	return &Fake{now: start, step: step}
+}
+
+// Now advances the clock by its step and returns the new reading.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(f.step)
+	return f.now
+}
+
+// Since returns the distance from t to the current reading, without
+// advancing.
+func (f *Fake) Since(t time.Time) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now.Sub(t)
+}
+
+// Advance moves the clock forward by d (test convenience).
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
+	"semcc/internal/clock"
 	"semcc/internal/compat"
 	"semcc/internal/core/locktable"
 	"semcc/internal/core/trace"
@@ -105,6 +105,17 @@ type Hooks struct {
 	// callback; it is owned by the callee and never mutated afterwards
 	// by the engine.
 	OnBlock func(t *Tx, waits []*Tx)
+	// OnWake fires when a blocked lock request wakes from its wait —
+	// after every node it waited on completed, before the request
+	// re-examines the lock list (and so before it can be granted or
+	// mutate anything).
+	//
+	// Contract: the callback runs with no lock-table shard mutex and no
+	// other engine lock held. It may block: a deterministic scheduler
+	// parks the woken request here until it is that request's turn to
+	// run, which is exactly what internal/chaos does to keep concurrent
+	// wake-ups from racing each other.
+	OnWake func(t *Tx)
 }
 
 // Config configures an Engine.
@@ -144,6 +155,11 @@ type Config struct {
 	// tracer: disabled is one atomic load per site, nil a pointer
 	// check.
 	Obs *obs.Obs
+	// Clock supplies every wall-time *measurement* the engine makes
+	// (span WAL timing, lock-wait attribution). Nil selects the real
+	// clock; deterministic harnesses inject clock.Fake. Scheduling
+	// decisions (deadlock-recheck timers) stay on real time regardless.
+	Clock clock.Clock
 	// Hooks are optional test callbacks.
 	Hooks Hooks
 }
@@ -170,7 +186,8 @@ type Engine struct {
 	// construction; nil when the journal (or none) is submit==durable.
 	ackJournal AckJournal
 	tr         *trace.Tracer
-	spans   *obs.SpanRecorder // nil when no Obs is attached
+	spans      *obs.SpanRecorder // nil when no Obs is attached
+	clk        clock.Clock
 
 	// exec runs a compensating invocation as a child of the given
 	// node; installed by the OODB layer (which owns method bodies).
@@ -200,6 +217,7 @@ func New(cfg Config) *Engine {
 		tbl = locktable.NewStriped[*lock](cfg.LockShards)
 	}
 	stats := &Stats{}
+	clk := clock.Or(cfg.Clock)
 	lm := &lockMgr{
 		kind:     cfg.Kind,
 		table:    cfg.Table,
@@ -210,6 +228,7 @@ func New(cfg Config) *Engine {
 		wfg:      waitgraph.New(),
 		stats:    stats,
 		tr:       cfg.Tracer,
+		clk:      clk,
 	}
 	e := &Engine{
 		kind:    cfg.Kind,
@@ -219,6 +238,7 @@ func New(cfg Config) *Engine {
 		tr:      cfg.Tracer,
 		lm:      lm,
 		stats:   stats,
+		clk:     clk,
 	}
 	if aj, ok := cfg.Journal.(AckJournal); ok {
 		e.ackJournal = aj
@@ -253,9 +273,9 @@ func (e *Engine) Stats() StatsSnapshot { return e.stats.Snapshot() }
 // *where* in each transition the append happens.
 func (e *Engine) journalAppend(t *Tx, rec JournalRecord) {
 	if sp := t.span; sp != nil {
-		start := time.Now()
+		start := e.clk.Now()
 		e.journal.Append(rec)
-		sp.AddWAL(uint64(time.Since(start)))
+		sp.AddWAL(uint64(e.clk.Since(start)))
 		return
 	}
 	e.journal.Append(rec)
@@ -277,9 +297,9 @@ func (e *Engine) journalCommit(t *Tx, rec JournalRecord) {
 		return
 	}
 	if sp := t.span; sp != nil {
-		start := time.Now()
+		start := e.clk.Now()
 		e.ackJournal.AppendAck(rec).Wait()
-		sp.AddWAL(uint64(time.Since(start)))
+		sp.AddWAL(uint64(e.clk.Since(start)))
 		return
 	}
 	e.ackJournal.AppendAck(rec).Wait()

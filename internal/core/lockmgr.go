@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"semcc/internal/clock"
 	"semcc/internal/compat"
 	"semcc/internal/core/locktable"
 	"semcc/internal/core/trace"
@@ -96,6 +97,10 @@ type lockMgr struct {
 	wfg   *waitgraph.Graph
 	stats *Stats
 	tr    *trace.Tracer
+	// clk supplies wait-time *measurements* (blockedAt, wait nanos).
+	// The waitAll recheck timer deliberately stays on real time: it is
+	// a scheduling decision, not a measurement (see internal/clock).
+	clk clock.Clock
 }
 
 // obsCause maps a trace wait cause to the span layer's classification.
@@ -225,7 +230,7 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 					m.tr.Emit(stripe, trace.Event{Kind: trace.KGrant, Node: t.id, Root: t.root.id, Obj: obj})
 				}
 			} else {
-				waited := uint64(time.Since(blockedAt))
+				waited := uint64(m.clk.Since(blockedAt))
 				m.stats.add(stripe, cWaitNanos, waited)
 				t.span.AddLockWait(obsCause(blockCause), waited)
 				if m.tr.On() {
@@ -236,7 +241,7 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 		}
 		if first {
 			first = false
-			blockedAt = time.Now()
+			blockedAt = m.clk.Now()
 			m.stats.bump(stripe, cBlocks)
 			if m.tr.On() || t.span != nil {
 				cause, peer := classifyWaits(waits)
@@ -258,7 +263,7 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 		} else if m.wfg.AddAndCheck(t.id, t.root.id, targets) {
 			m.dequeue(l)
 			m.stats.bump(stripe, cDeadlocks)
-			t.span.AddLockWait(obsCause(blockCause), uint64(time.Since(blockedAt)))
+			t.span.AddLockWait(obsCause(blockCause), uint64(m.clk.Since(blockedAt)))
 			if m.tr.On() {
 				m.tr.Emit(stripe, trace.Event{Kind: trace.KDeadlock, Cause: blockCause, Node: t.id, Root: t.root.id, Obj: obj})
 			}
@@ -278,13 +283,21 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 		}
 		switch m.waitAll(t, chans) {
 		case waitDone:
+			if m.hooks.OnWake != nil {
+				// Contract: OnWake runs with no shard mutex (and no
+				// other engine lock) held, after every waited-on node
+				// completed and before the request re-examines the lock
+				// list. It may block — deterministic schedulers park
+				// woken requests here. See Hooks.
+				m.hooks.OnWake(t)
+			}
 		case waitVictim:
 			// A cycle formed while waiting (e.g. a compensating
 			// request joined after us): self-victimize.
 			m.wfg.Clear(t.id)
 			m.dequeue(l)
 			m.stats.bump(stripe, cDeadlocks)
-			t.span.AddLockWait(obsCause(blockCause), uint64(time.Since(blockedAt)))
+			t.span.AddLockWait(obsCause(blockCause), uint64(m.clk.Since(blockedAt)))
 			if m.tr.On() {
 				m.tr.Emit(stripe, trace.Event{Kind: trace.KDeadlock, Cause: blockCause, Node: t.id, Root: t.root.id, Obj: obj})
 			}
@@ -303,7 +316,7 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			})
 			t.locks = append(t.locks, l)
 			m.stats.bump(stripe, cForcedGrants)
-			waited := uint64(time.Since(blockedAt))
+			waited := uint64(m.clk.Since(blockedAt))
 			m.stats.add(stripe, cWaitNanos, waited)
 			t.span.AddLockWait(obsCause(blockCause), waited)
 			if m.tr.On() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"semcc/internal/clock"
 	"semcc/internal/compat"
 	"semcc/internal/core"
 	"semcc/internal/core/trace"
@@ -57,6 +58,10 @@ type Options struct {
 	Obs *obs.Obs
 	// Hooks passes test callbacks to the engine.
 	Hooks core.Hooks
+	// Clock supplies the engine's wall-time measurements (span WAL
+	// timing, lock-wait attribution). Nil selects the real clock;
+	// deterministic harnesses (internal/chaos) inject clock.Fake.
+	Clock clock.Clock
 }
 
 // DB is an object-oriented database: an object store, a schema of
@@ -134,6 +139,7 @@ func (db *DB) finishOpen(opts Options) {
 		Tracer:           opts.Tracer,
 		Obs:              db.obs,
 		Hooks:            opts.Hooks,
+		Clock:            opts.Clock,
 	})
 	db.engine.SetExec(func(parent *core.Tx, inv compat.Invocation) error {
 		_, err := db.invoke(parent, inv)

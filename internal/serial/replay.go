@@ -115,6 +115,17 @@ func Check(fresh func() (Env, error), obs []Observation, finalState string) (Res
 	return res, nil
 }
 
+// ReplayOrder replays the single given serial order and reports
+// whether it reproduces the concurrent execution's observations and
+// final state; why describes the first divergence when it does not.
+// Check is the factorial search over all orders; ReplayOrder is the
+// linear-cost variant for callers that already know the candidate
+// order — the chaos oracle replays the commit order, which the
+// protocol guarantees equivalent.
+func ReplayOrder(fresh func() (Env, error), obs []Observation, finalState string, order []int) (ok bool, why string, err error) {
+	return replayMatches(fresh, obs, finalState, order)
+}
+
 // replayMatches replays one serial order and compares observations and
 // final state.
 func replayMatches(fresh func() (Env, error), obs []Observation, finalState string, order []int) (bool, string, error) {

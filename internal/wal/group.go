@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"semcc/internal/clock"
 	"semcc/internal/core"
 	"semcc/internal/obs"
 )
@@ -92,6 +93,11 @@ type Config struct {
 	// correct for crash and contract tests, meaningless for durability
 	// benchmarks.
 	FlushDelay time.Duration
+	// Clock supplies the journal's wall-time *measurements* (append,
+	// ack and flush latency metrics). Nil selects the real clock.
+	// Scheduling — the writer's MaxDelay timer, the simulated device
+	// busy-wait — stays on real time regardless (see internal/clock).
+	Clock clock.Clock
 }
 
 // Journal is the full journal surface shared by the synchronous Log
@@ -143,6 +149,7 @@ func New(cfg Config) Journal {
 	if cfg.Mode == ModeSync {
 		l := NewLog()
 		l.flushDelay = cfg.FlushDelay
+		l.clk = clock.Or(cfg.Clock)
 		return l
 	}
 	return NewGroupLog(cfg)
@@ -203,6 +210,10 @@ type GroupLog struct {
 	done     chan struct{}
 
 	om atomic.Pointer[groupObs]
+	// clk times ack/flush latency for the obs metrics (measurement
+	// only; the writer's MaxDelay timer and the busy-wait device stay
+	// on real time).
+	clk clock.Clock
 }
 
 // NewGroupLog starts a group-commit journal and its writer goroutine.
@@ -214,6 +225,7 @@ func NewGroupLog(cfg Config) *GroupLog {
 		maxBatch:   cfg.MaxBatch,
 		maxDelay:   cfg.MaxDelay,
 		flushDelay: cfg.FlushDelay,
+		clk:        clock.Or(cfg.Clock),
 		done:       make(chan struct{}),
 	}
 	if g.mode != ModeAsync {
@@ -302,7 +314,7 @@ func (g *GroupLog) append(rec core.JournalRecord, s submission) {
 	m := g.om.Load()
 	on := m.on()
 	if on {
-		s.at = time.Now()
+		s.at = g.clk.Now()
 	}
 	g.mu.Lock()
 	g.recs = append(g.recs, rec)
@@ -454,7 +466,7 @@ func (g *GroupLog) flushTo(end int, acks []chan struct{}, ackAt []time.Time) {
 	on := m.on()
 	var start time.Time
 	if on {
-		start = time.Now()
+		start = g.clk.Now()
 	}
 	g.mu.Lock()
 	n, bytes := g.flushLocked(end)
@@ -469,11 +481,11 @@ func (g *GroupLog) flushTo(end int, acks []chan struct{}, ackAt []time.Time) {
 		m.flushes.Inc()
 		m.flushed.Add(uint64(bytes))
 		m.batchRecs.Observe(uint64(n))
-		m.flushNs.Observe(uint64(time.Since(start)))
+		m.flushNs.Observe(uint64(g.clk.Since(start)))
 	}
 	now := time.Time{}
 	if on {
-		now = time.Now()
+		now = g.clk.Now()
 	}
 	for i, a := range acks {
 		close(a)

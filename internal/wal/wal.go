@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"semcc/internal/clock"
 	"semcc/internal/compat"
 	"semcc/internal/core"
 	"semcc/internal/obs"
@@ -57,10 +58,14 @@ type Log struct {
 	// om carries the attached observability metrics; an atomic pointer
 	// because Append reads it before taking the log mutex.
 	om atomic.Pointer[logObs]
+	// clk times append latency for the obs metrics (measurement only;
+	// the busy-wait device simulation stays on real time). Set before
+	// concurrent use; wal.New overrides it from Config.Clock.
+	clk clock.Clock
 }
 
 // NewLog returns an empty log.
-func NewLog() *Log { return &Log{} }
+func NewLog() *Log { return &Log{clk: clock.Wall{}} }
 
 // logObs bundles the log's registry metrics.
 type logObs struct {
@@ -119,13 +124,13 @@ func recordBytes(r core.JournalRecord) uint64 {
 // mode, and the per-commit serialization cost group commit amortises.
 func (l *Log) Append(rec core.JournalRecord) {
 	if m := l.om.Load(); m.on() {
-		start := time.Now()
+		start := l.clk.Now()
 		l.mu.Lock()
 		before := len(l.durable)
 		l.appendLocked(rec)
 		delta := len(l.durable) - before
 		l.mu.Unlock()
-		m.appendNs.Observe(uint64(time.Since(start)))
+		m.appendNs.Observe(uint64(l.clk.Since(start)))
 		m.appends.Inc()
 		m.bytes.Add(recordBytes(rec))
 		m.flushes.Inc()
@@ -300,12 +305,19 @@ func Unmarshal(b []byte) (*Log, error) {
 		l.recs = append(l.recs, r)
 	}
 	// Rebuild the durable image so the invariant "a sync log's durable
-	// image covers all its records" survives deserialisation; one frame
-	// spanning the whole sequence.
-	if len(l.recs) > 0 {
-		l.durable = appendFrame(nil, l.recs)
-		l.flushes = 1
+	// image covers all its records" survives deserialisation. The flat
+	// Marshal format carries no batch boundaries, so the one faithful
+	// reconstruction is the synchronous log's own framing — one
+	// single-record frame per append. That makes a NewLog→Marshal→
+	// Unmarshal round-trip byte-identical in DurableBytes and exact in
+	// Stats (flushes == records), instead of fabricating one giant
+	// frame with flushes = 1. Group/async images keep their real batch
+	// boundaries through UnmarshalDurable, which decodes the framed
+	// bytes directly.
+	for i := range l.recs {
+		l.durable = appendFrame(l.durable, l.recs[i:i+1])
 	}
+	l.flushes = uint64(len(l.recs))
 	return l, nil
 }
 

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"semcc/internal/orderentry"
+)
+
+// TestNoRetriesExpressible covers the MaxRetries zero-value fix: a
+// negative budget (NoRetries) must run every transaction exactly once,
+// while the zero value keeps selecting the default. Ship-pool
+// exhaustion is the deterministic retryable error: one client, one
+// item, a two-order pool, three T1s — the third T1 can never succeed.
+func TestNoRetriesExpressible(t *testing.T) {
+	cfg := Config{
+		Items:         1,
+		OrdersPerItem: 4, // two T1s consume all four; the third starves
+		InitialQOH:    100,
+		Clients:       1,
+		TxPerClient:   3,
+		Mix:           Mix{KindT1: 1},
+		Seed:          1,
+		MaxRetries:    NoRetries,
+	}
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Committed != 2 {
+		t.Fatalf("Committed = %d, want 2", m.Committed)
+	}
+	if m.RetryExhausted != 1 {
+		t.Fatalf("RetryExhausted = %d, want 1", m.RetryExhausted)
+	}
+	if m.Aborted != 0 {
+		t.Fatalf("Aborted = %d, want 0 (retry exhaustion must not fold in)", m.Aborted)
+	}
+	if m.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0 under NoRetries", m.Retries)
+	}
+	if m.Config.MaxRetries != NoRetries {
+		t.Fatalf("Metrics.Config.MaxRetries = %d, want the caller's %d", m.Config.MaxRetries, NoRetries)
+	}
+}
+
+// TestDefaultRetryBudget pins the unset (zero-value) behaviour: the
+// default budget applies and each doomed transaction burns it before
+// landing in RetryExhausted.
+func TestDefaultRetryBudget(t *testing.T) {
+	cfg := Config{
+		Items:         1,
+		OrdersPerItem: 4,
+		InitialQOH:    100,
+		Clients:       1,
+		TxPerClient:   3,
+		Mix:           Mix{KindT1: 1},
+		Seed:          1,
+		// MaxRetries unset: zero still means DefaultMaxRetries.
+	}
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Committed != 2 || m.RetryExhausted != 1 {
+		t.Fatalf("Committed/RetryExhausted = %d/%d, want 2/1", m.Committed, m.RetryExhausted)
+	}
+	if m.Retries != DefaultMaxRetries {
+		t.Fatalf("Retries = %d, want %d (one doomed tx burning the whole default budget)", m.Retries, DefaultMaxRetries)
+	}
+}
+
+// TestClientErrorsAggregated covers the one-slot errCh fix: every
+// non-retryable failure must surface, joined into RunOn's error and
+// counted in Metrics.ClientErrors. Insufficient stock is the
+// deterministic non-retryable error: with one unit on hand, every
+// two-unit T1 fails.
+func TestClientErrorsAggregated(t *testing.T) {
+	cfg := Config{
+		Items:         1,
+		OrdersPerItem: 20,
+		InitialQOH:    1,
+		Clients:       2,
+		TxPerClient:   2,
+		Mix:           Mix{KindT1: 1},
+		Seed:          1,
+		MaxRetries:    NoRetries,
+	}
+	m, err := Run(cfg)
+	if err == nil {
+		t.Fatalf("Run: want an error, got none (metrics: %+v)", m)
+	}
+	if !errors.Is(err, orderentry.ErrInsufficientStock) {
+		t.Fatalf("Run error = %v, want ErrInsufficientStock in the chain", err)
+	}
+	// All four T1s fail (each needs two units, one exists): the old
+	// one-slot channel reported exactly one of them.
+	if m.ClientErrors != 4 {
+		t.Fatalf("ClientErrors = %d, want 4", m.ClientErrors)
+	}
+	if m.Aborted != 4 {
+		t.Fatalf("Aborted = %d, want 4", m.Aborted)
+	}
+	// errors.Join renders one line per joined error.
+	var joined interface{ Unwrap() []error }
+	if !errors.As(err, &joined) {
+		t.Fatalf("Run error does not unwrap to multiple errors: %v", err)
+	}
+	if n := len(joined.Unwrap()); n != 4 {
+		t.Fatalf("joined error count = %d, want 4: %v", n, err)
+	}
+}

@@ -7,6 +7,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -131,7 +132,10 @@ type Config struct {
 	ZipfS float64
 	// Seed seeds the per-run RNG (deterministic picks per client).
 	Seed int64
-	// MaxRetries bounds deadlock retries per transaction.
+	// MaxRetries bounds deadlock retries per transaction. 0 selects
+	// DefaultMaxRetries; NoRetries (or any negative value) disables
+	// retrying entirely, which a literal 0 cannot express because the
+	// zero value must keep meaning "unset".
 	MaxRetries int
 	// Validate runs the conservation invariant check after the run.
 	Validate bool
@@ -145,15 +149,46 @@ type Config struct {
 	Obs *obs.Obs
 }
 
+// DefaultMaxRetries is the retry budget selected by MaxRetries == 0.
+const DefaultMaxRetries = 50
+
+// NoRetries disables deadlock retrying (Config.MaxRetries).
+const NoRetries = -1
+
+// retryBudget resolves Config.MaxRetries to the effective retry count
+// without mutating the config (Metrics.Config keeps the caller's
+// value): 0 is unset, negative is NoRetries.
+func retryBudget(cfg Config) int {
+	switch {
+	case cfg.MaxRetries == 0:
+		return DefaultMaxRetries
+	case cfg.MaxRetries < 0:
+		return 0
+	}
+	return cfg.MaxRetries
+}
+
 // Metrics summarises one workload run.
 type Metrics struct {
-	Config     Config
-	Committed  uint64
-	Aborted    uint64 // transactions that permanently failed
-	Retries    uint64 // deadlock retries
-	Elapsed    time.Duration
-	Throughput float64 // committed transactions per second
-	Engine     core.StatsSnapshot
+	Config    Config
+	Committed uint64
+	// Aborted counts transactions that permanently failed on a
+	// non-retryable error. Retry-exhausted transactions are counted in
+	// RetryExhausted, not here: Committed + Aborted + RetryExhausted
+	// covers every transaction the run attempted.
+	Aborted uint64
+	// RetryExhausted counts transactions whose last error was still
+	// retryable (deadlock victim, ship-pool race) when the retry budget
+	// ran out.
+	RetryExhausted uint64
+	// ClientErrors counts the distinct non-retryable client failures of
+	// the run — all of them, not just the first (RunOn's error return
+	// joins them).
+	ClientErrors uint64
+	Retries      uint64 // deadlock retries
+	Elapsed      time.Duration
+	Throughput   float64 // committed transactions per second
+	Engine       core.StatsSnapshot
 	// P50Ns/P99Ns are root-transaction latency percentiles for this
 	// run, from the span recorder's log₂ histogram (delta against the
 	// recorder's state before the run, so a shared Obs still yields
@@ -205,9 +240,6 @@ func Run(cfg Config) (Metrics, error) {
 	if cfg.Mix == nil {
 		cfg.Mix = StandardMix()
 	}
-	if cfg.MaxRetries == 0 {
-		cfg.MaxRetries = 50
-	}
 	if cfg.Items <= 0 {
 		cfg.Items = 4
 	}
@@ -248,20 +280,22 @@ func RunOn(app *orderentry.App, cfg Config) (Metrics, error) {
 	if cfg.Mix == nil {
 		cfg.Mix = StandardMix()
 	}
-	if cfg.MaxRetries == 0 {
-		cfg.MaxRetries = 50
-	}
+	maxRetries := retryBudget(cfg)
 	picker, err := newPicker(app, cfg)
 	if err != nil {
 		return Metrics{}, err
 	}
 
-	var committed, aborted, retries atomic.Uint64
+	var committed, aborted, exhausted, retries atomic.Uint64
 	o := app.DB.Obs()
 	latBefore := o.Spans.LatencySnap()
 	start := time.Now()
 	var wg sync.WaitGroup
-	errCh := make(chan error, cfg.Clients)
+	// Every non-retryable client failure is collected (not just the
+	// first): multi-client runs fail on several fronts at once, and a
+	// single-error report hides all but one of them.
+	var errMu sync.Mutex
+	var clientErrs []error
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func(client int) {
@@ -271,7 +305,7 @@ func RunOn(app *orderentry.App, cfg Config) (Metrics, error) {
 				kind := picker.kind(rng)
 				var lastErr error
 				ok := false
-				for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+				for attempt := 0; attempt <= maxRetries; attempt++ {
 					lastErr = picker.execute(kind, rng)
 					if lastErr == nil {
 						ok = true
@@ -280,37 +314,42 @@ func RunOn(app *orderentry.App, cfg Config) (Metrics, error) {
 					if !isRetryable(lastErr) {
 						break
 					}
-					retries.Add(1)
-				}
-				if ok {
-					committed.Add(1)
-				} else {
-					aborted.Add(1)
-					if lastErr != nil && !isRetryable(lastErr) {
-						select {
-						case errCh <- fmt.Errorf("workload: client %d %s: %w", client, kind, lastErr):
-						default:
-						}
+					// Count only attempts that actually re-run: a
+					// retryable failure on the last allowed attempt is
+					// exhaustion, not a retry.
+					if attempt < maxRetries {
+						retries.Add(1)
 					}
+				}
+				switch {
+				case ok:
+					committed.Add(1)
+				case isRetryable(lastErr):
+					exhausted.Add(1)
+				default:
+					aborted.Add(1)
+					errMu.Lock()
+					clientErrs = append(clientErrs, fmt.Errorf("workload: client %d %s: %w", client, kind, lastErr))
+					errMu.Unlock()
 				}
 			}
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	select {
-	case err := <-errCh:
-		return Metrics{}, err
-	default:
-	}
 
 	m := Metrics{
-		Config:    cfg,
-		Committed: committed.Load(),
-		Aborted:   aborted.Load(),
-		Retries:   retries.Load(),
-		Elapsed:   elapsed,
-		Engine:    app.DB.Engine().Stats(),
+		Config:         cfg,
+		Committed:      committed.Load(),
+		Aborted:        aborted.Load(),
+		RetryExhausted: exhausted.Load(),
+		ClientErrors:   uint64(len(clientErrs)),
+		Retries:        retries.Load(),
+		Elapsed:        elapsed,
+		Engine:         app.DB.Engine().Stats(),
+	}
+	if len(clientErrs) > 0 {
+		return m, errors.Join(clientErrs...)
 	}
 	if elapsed > 0 {
 		m.Throughput = float64(m.Committed) / elapsed.Seconds()
@@ -334,25 +373,10 @@ func RunOn(app *orderentry.App, cfg Config) (Metrics, error) {
 func isRetryable(err error) bool {
 	// Deadlock victims retry; a ship that raced out of pool entries
 	// retries with a different pick as well.
-	return err != nil && (errIs(err, core.ErrDeadlock) || errIs(err, errPoolExhausted))
+	return err != nil && (errors.Is(err, core.ErrDeadlock) || errors.Is(err, errPoolExhausted))
 }
 
-var errPoolExhausted = fmt.Errorf("workload: ship pool exhausted")
-
-func errIs(err, target error) bool {
-	for e := err; e != nil; {
-		if e == target {
-			return true
-		}
-		type unwrapper interface{ Unwrap() error }
-		u, ok := e.(unwrapper)
-		if !ok {
-			return false
-		}
-		e = u.Unwrap()
-	}
-	return false
-}
+var errPoolExhausted = errors.New("workload: ship pool exhausted")
 
 // picker pre-resolves the population and picks transaction targets.
 type picker struct {
