@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-store bench-obs bench-wal fuzz-regress race-recovery fuzz chaos BENCH_6.json
+.PHONY: check build test race vet bench bench-store bench-obs bench-wal bench-compat fuzz-regress race-recovery fuzz chaos BENCH_6.json BENCH_8.json
 
 # The full gate: what CI (and every PR) must pass. `race` runs the
 # whole suite (including the recovery and crash-point tests) under the
@@ -81,3 +81,16 @@ bench-wal:
 # Regenerate the checked-in E7 durability sweep (full parameter grid).
 BENCH_6.json:
 	$(GO) run ./cmd/semcc-bench -exp E7 -json > $@
+
+# The compatibility-regime comparison (E8): static matrix-only
+# admission vs escrow bounds-interval admission on hot-spot counter
+# mixes. The cross-mode equivalence smoke asserts both regimes commit
+# the same work with identical final balances before the sweep runs.
+bench-compat:
+	$(GO) test ./internal/harness -run TestCompatEquivalenceSmoke -v
+	$(GO) run ./cmd/semcc-bench -exp E8 -quick
+
+# Regenerate the checked-in E8 compat-regime sweep (full parameter
+# grid; the headline row is hot-counter at zipf s=1.4, MPL=16).
+BENCH_8.json:
+	$(GO) run ./cmd/semcc-bench -exp E8 -json > $@

@@ -78,7 +78,11 @@ func CounterMatrix() *compat.Matrix {
 // AccountMatrix is the escrow-style matrix of type Account: deposits
 // commute with everything that updates, withdrawals do not commute
 // with each other (insufficient-funds floor), and Balance conflicts
-// with both update kinds.
+// with both update kinds. The matrix additionally carries an escrow
+// spec over the Balance component, so a database opened with
+// compat.CompatEscrow admits concurrent Withdraws whenever both fit
+// the balance interval (state-dependent commutativity), while a
+// static-mode database keeps serialising them on the matrix conflict.
 func AccountMatrix() *compat.Matrix {
 	m := compat.NewMatrix("Account", ADeposit, AWithdraw, ABalance, AUndeposit)
 	m.Set(ADeposit, ADeposit, compat.Always)
@@ -87,6 +91,26 @@ func AccountMatrix() *compat.Matrix {
 	m.Set(AUndeposit, AWithdraw, compat.Always)
 	m.Set(AUndeposit, AUndeposit, compat.Always)
 	m.Set(ABalance, ABalance, compat.Always)
+	// Undeposit carries no delta on purpose: it reverts a deposit the
+	// interval never counted toward withdraw admission, so its blind
+	// subtract cannot break the floor, and a reservation could make a
+	// compensation fail.
+	m.SetEscrow(&compat.EscrowSpec{
+		Component: "Balance",
+		Floor:     0,
+		Delta: func(inv compat.Invocation) (int64, bool) {
+			if len(inv.Args) != 1 || inv.Args[0].Int() < 0 {
+				return 0, false
+			}
+			switch inv.Method {
+			case AWithdraw:
+				return -inv.Args[0].Int(), true
+			case ADeposit:
+				return inv.Args[0].Int(), true
+			}
+			return 0, false
+		},
+	})
 	return m
 }
 
@@ -353,6 +377,14 @@ func accountMethods() []*oodb.Method {
 				if len(args) != 1 || args[0].Int() < 0 {
 					return val.NullV, fmt.Errorf("adts: Deposit wants (amount ≥ 0)")
 				}
+				if ctx.DB().CompatMode() == compat.CompatEscrow {
+					bAtom, err := ctx.Component(recv, "Balance")
+					if err != nil {
+						return val.NullV, err
+					}
+					_, err = ctx.Add(bAtom, args[0].Int())
+					return val.NullV, err
+				}
 				bAtom, b, err := balanceOf(ctx, recv)
 				if err != nil {
 					return val.NullV, err
@@ -370,6 +402,14 @@ func accountMethods() []*oodb.Method {
 			// exactly the funds its forward Deposit added.
 			Name: AUndeposit,
 			Body: func(ctx *oodb.Ctx, recv oid.OID, args []val.V) (val.V, error) {
+				if ctx.DB().CompatMode() == compat.CompatEscrow {
+					bAtom, err := ctx.Component(recv, "Balance")
+					if err != nil {
+						return val.NullV, err
+					}
+					_, err = ctx.Add(bAtom, -args[0].Int())
+					return val.NullV, err
+				}
 				bAtom, b, err := balanceOf(ctx, recv)
 				if err != nil {
 					return val.NullV, err
@@ -382,6 +422,17 @@ func accountMethods() []*oodb.Method {
 			Body: func(ctx *oodb.Ctx, recv oid.OID, args []val.V) (val.V, error) {
 				if len(args) != 1 || args[0].Int() < 0 {
 					return val.NullV, fmt.Errorf("adts: Withdraw wants (amount ≥ 0)")
+				}
+				if ctx.DB().CompatMode() == compat.CompatEscrow {
+					// The escrow reservation already guarantees the floor;
+					// the body is one blind commutative Add with no
+					// observing Get.
+					bAtom, err := ctx.Component(recv, "Balance")
+					if err != nil {
+						return val.NullV, err
+					}
+					_, err = ctx.Add(bAtom, -args[0].Int())
+					return val.NullV, err
 				}
 				bAtom, b, err := balanceOf(ctx, recv)
 				if err != nil {

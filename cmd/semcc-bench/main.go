@@ -1,5 +1,5 @@
 // Command semcc-bench runs the performance experiments (DESIGN.md §4,
-// E1–E7) and prints their tables. Every experiment compares the
+// E1–E8) and prints their tables. Every experiment compares the
 // paper's semantic open-nested protocol against the conventional
 // baselines on the order-entry workload.
 //
@@ -15,8 +15,13 @@
 //	                               # every experiment point (-wal=sync,
 //	                               # group or async; default none)
 //	semcc-bench -wal=group -walbatch 128 -waldelay 1ms   # batch knobs
+//	semcc-bench -compat=escrow     # state-dependent escrow admission on
+//	                               # every experiment point (default
+//	                               # static: matrix-only)
 //	semcc-bench -exp E7 -json      # durability-mode sweep as JSON
 //	                               # (the checked-in BENCH_6.json)
+//	semcc-bench -exp E8 -json      # compat-regime sweep as JSON
+//	                               # (the checked-in BENCH_8.json)
 //	semcc-bench -hot               # contention profile per protocol:
 //	                               # top-K hottest objects + per-case
 //	                               # wait-time histograms + case mix
@@ -36,6 +41,7 @@ import (
 	"os"
 	"time"
 
+	"semcc/internal/compat"
 	"semcc/internal/core"
 	"semcc/internal/core/trace"
 	"semcc/internal/harness"
@@ -46,12 +52,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E7); empty runs all")
+	exp := flag.String("exp", "", "experiment id (E1..E8); empty runs all")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	lockmgr := flag.String("lockmgr", "striped", "lock table implementation: striped or global")
 	store := flag.String("store", "sharded", "object store layout: sharded or global (single shard)")
 	storeShards := flag.Int("storeshards", 0, "with -store=sharded: shard count override (0 = default)")
 	pool := flag.String("pool", "partitioned", "buffer pool implementation: partitioned or global")
+	compatFlag := flag.String("compat", "static", "compatibility regime: static (matrix only) or escrow (state-dependent admission)")
 	walMode := flag.String("wal", "none", "journal attached to every experiment point: none, sync, group or async")
 	walBatch := flag.Int("walbatch", 0, "with -wal=group|async: records per batch before a forced flush (0 = default)")
 	walDelay := flag.Duration("waldelay", 0, "with -wal=group|async: max age of an unflushed record (0 = default)")
@@ -88,6 +95,13 @@ func main() {
 		os.Exit(2)
 	}
 	harness.SetStoreConfig(shards, pk)
+
+	cm, err := compat.ParseMode(*compatFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	harness.SetCompat(cm)
 
 	if *walMode != "" && *walMode != "none" {
 		m, err := wal.ParseMode(*walMode)
@@ -129,6 +143,15 @@ func main() {
 
 	if *asJSON && *exp == "E7" {
 		out, err := harness.WALSweepJSON(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	if *asJSON && *exp == "E8" {
+		out, err := harness.CompatSweepJSON(*quick)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -8,14 +8,17 @@
 // pressure, with seeded kill-and-recover events that snapshot the
 // WAL's durable image mid-run, rebuild via UnmarshalDurable +
 // wal.Recover, and continue, rotating the journal through all three
-// durability modes across epochs. The run's outcome is then compared
+// durability modes and the lock manager through both compatibility
+// regimes (static matrices, escrow admission) across epochs. The
+// run's outcome is then compared
 // with a serial execution of the committed transactions in commit
 // order (internal/serial.ReplayOrder): under the paper's protocol —
 // strict semantic two-phase locking with retained locks — the commit
 // order is a witnessing serial order, so any mismatch of observations
 // or final state is an engine bug, not a false alarm. Conservation of
-// stock (internal/orderentry.CheckConservation) is additionally
-// checked after every recovery.
+// stock (internal/orderentry.CheckConservationNet, corrected by the
+// committed debit/credit net) is additionally checked after every
+// recovery.
 //
 // Everything is derived from Config.Seed: same seed, same actions,
 // same interleaving, same kill points, same byte-level durable images,
@@ -73,6 +76,9 @@ func (c Config) withDefaults() Config {
 type Epoch struct {
 	// Mode is the WAL durability mode the epoch ran under.
 	Mode string
+	// Compat is the compatibility regime the epoch ran under (static
+	// or escrow); like Mode it rotates per epoch in seeded order.
+	Compat string
 	// MaxBatch is the group-commit batch cap used.
 	MaxBatch int
 	// Records is the journal record count that survived the epoch's
@@ -111,9 +117,14 @@ type Report struct {
 	// resolutions: each block parks one root, force-commits its
 	// holders, and wakes the parked root.
 	Blocks, ForcedCommits, Wakes int
-	// InsufficientStock counts ship actions that hit the
-	// quantity-on-hand floor (an expected, replayed observation).
+	// InsufficientStock counts ship/debit actions that hit the
+	// quantity-on-hand floor — statically via the application check,
+	// in escrow epochs via a denied reservation (core.ErrEscrowBounds);
+	// both are expected, replayed observations.
 	InsufficientStock int
+	// StockOps counts successful DebitStock/CreditStock actions (the
+	// updates escrow admission is about).
+	StockOps int
 	// TraceHash fingerprints the full execution trace, including the
 	// byte-level durable image at every kill: equal seeds must give
 	// equal hashes.

@@ -33,17 +33,26 @@ func TestChaosOracle(t *testing.T) {
 		t.Fatalf("oracle divergence: %s", rep.Divergence)
 	}
 	if *flagActions >= 500 {
-		// The acceptance bar: enough kills, and all three WAL modes
-		// exercised across the epochs.
+		// The acceptance bar: enough kills, all three WAL modes and
+		// both compatibility regimes exercised across the epochs, and
+		// escrow-eligible stock updates actually performed.
 		if rep.Kills < 2 {
 			t.Fatalf("want >=2 kill-and-recover events, got %d", rep.Kills)
 		}
 		modes := map[string]bool{}
+		compats := map[string]bool{}
 		for _, e := range rep.Epochs {
 			modes[e.Mode] = true
+			compats[e.Compat] = true
 		}
 		if len(modes) < 3 {
 			t.Fatalf("want all three WAL modes across epochs, got %v", modes)
+		}
+		if len(compats) < 2 {
+			t.Fatalf("want both compat regimes across epochs, got %v", compats)
+		}
+		if rep.StockOps == 0 {
+			t.Fatalf("want stock-counter actions in the mix, got none")
 		}
 	}
 }

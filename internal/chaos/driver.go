@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"semcc/internal/clock"
+	"semcc/internal/compat"
 	"semcc/internal/core"
 	"semcc/internal/oodb"
 	"semcc/internal/orderentry"
@@ -94,7 +95,11 @@ type rootState struct {
 	wantAbort bool
 	executed  []action // completed prefix (what the oracle replays)
 	frags     []string
-	done      bool
+	// net is the root's successful stock-counter deltas by ItemNo;
+	// folded into the driver's committed net-stock on commit (and
+	// folded back out when a crash cut drops the commit).
+	net  map[int64]int64
+	done bool
 }
 
 var batchChoices = []int{2, 3, 5, 8}
@@ -125,8 +130,13 @@ type driver struct {
 	injected    bool
 
 	modeSeq    []wal.Mode
+	compatSeq  []compat.Mode
 	curBatch   int
 	epochFloor int
+	// netStock is the committed net stock delta by ItemNo
+	// (credits − debits of committed roots): the conservation
+	// invariant's correction term.
+	netStock map[int64]int64
 
 	wakePending *rootState
 	hash        uint64
@@ -188,6 +198,14 @@ func newDriver(cfg Config) *driver {
 	for _, i := range d.rng.Perm(len(modes)) {
 		d.modeSeq = append(d.modeSeq, modes[i])
 	}
+	// Like the durability mode, the compatibility regime rotates per
+	// epoch in a seeded order, so kills land in both static and escrow
+	// regimes and recovery crosses regime boundaries.
+	cmodes := compat.Modes()
+	for _, i := range d.rng.Perm(len(cmodes)) {
+		d.compatSeq = append(d.compatSeq, cmodes[i])
+	}
+	d.netStock = make(map[int64]int64)
 	kills := cfg.Kills
 	for i := 1; i <= kills; i++ {
 		d.killAt = append(d.killAt, i*cfg.Actions/(kills+1))
@@ -205,6 +223,7 @@ func newDriver(cfg Config) *driver {
 		Journal:    j,
 		Hooks:      d.hooks,
 		Clock:      d.clk,
+		Compat:     d.compatSeq[0],
 	})
 	app, err := orderentry.Setup(d.db, d.pop)
 	if err != nil {
@@ -212,8 +231,8 @@ func newDriver(cfg Config) *driver {
 	}
 	d.app = app
 	d.epochFloor = j.Len()
-	d.tracef("seed=%d actions=%d roots=%d kills=%v mode=%s batch=%d pop=%+v",
-		cfg.Seed, cfg.Actions, cfg.Roots, d.killAt, j.Mode(), d.curBatch, d.pop)
+	d.tracef("seed=%d actions=%d roots=%d kills=%v mode=%s compat=%s batch=%d pop=%+v",
+		cfg.Seed, cfg.Actions, cfg.Roots, d.killAt, j.Mode(), d.db.CompatMode(), d.curBatch, d.pop)
 	return d
 }
 
@@ -389,6 +408,9 @@ func (d *driver) finishCommit(r *rootState, err error) {
 	r.done = true
 	d.removeLive(r)
 	d.commitLog = append(d.commitLog, r)
+	for item, net := range r.net {
+		d.netStock[item] += net
+	}
 	d.report.Committed++
 	d.tracef("commit %s seq=%d obs=%s", r.name, len(d.commitLog)-1, strings.Join(r.frags, ";"))
 }
@@ -449,6 +471,17 @@ func (d *driver) run() {
 			if strings.HasSuffix(frag, "=stock") {
 				d.report.InsufficientStock++
 			}
+			if (ac.kind == actDebit || ac.kind == actCredit) && strings.HasSuffix(frag, "=ok") {
+				if r.net == nil {
+					r.net = make(map[int64]int64)
+				}
+				if ac.kind == actDebit {
+					r.net[ac.item] -= ac.v
+				} else {
+					r.net[ac.item] += ac.v
+				}
+				d.report.StockOps++
+			}
 			d.tracef("done %s %s", r.name, frag)
 		case r.wantAbort:
 			d.tracef("abortreq %s", r.name)
@@ -461,6 +494,7 @@ func (d *driver) run() {
 	}
 	d.report.Epochs = append(d.report.Epochs, Epoch{
 		Mode:     d.journal.Mode().String(),
+		Compat:   d.db.CompatMode().String(),
 		MaxBatch: d.curBatch,
 		Records:  d.journal.Len(),
 	})
@@ -576,6 +610,9 @@ func (d *driver) kill() {
 			d.fail("kill: dropped commit of %s is not the commit-order tail", h.name)
 		}
 		d.commitLog = d.commitLog[:len(d.commitLog)-1]
+		for item, net := range h.net {
+			d.netStock[item] -= net
+		}
 		d.report.Committed--
 		d.report.CrashAborted++
 		d.tracef("crashdrop %s", h.name)
@@ -595,15 +632,18 @@ func (d *driver) kill() {
 
 	d.report.Epochs = append(d.report.Epochs, Epoch{
 		Mode:           j.Mode().String(),
+		Compat:         d.db.CompatMode().String(),
 		MaxBatch:       d.curBatch,
 		Records:        cutEnd,
 		DroppedCommits: len(recs) - cutEnd,
 		TornBytes:      torn,
 	})
 
-	// Next epoch: fresh journal with rotated mode, engine rebuilt
-	// over the shared store, recovery from the cut image.
+	// Next epoch: fresh journal with rotated durability mode and
+	// compatibility regime, engine rebuilt over the shared store,
+	// recovery from the cut image.
 	mode := d.modeSeq[(d.report.Kills+1)%len(d.modeSeq)]
+	cmode := d.compatSeq[(d.report.Kills+1)%len(d.compatSeq)]
 	d.curBatch = batchChoices[d.rng.Intn(len(batchChoices))]
 	nj := wal.New(wal.Config{
 		Mode:     mode,
@@ -623,6 +663,7 @@ func (d *driver) kill() {
 		Journal:    nj,
 		Hooks:      d.hooks,
 		Clock:      d.clk,
+		Compat:     cmode,
 	})
 	an, err := wal.Recover(db2, cutLog)
 	if err != nil {
@@ -636,8 +677,8 @@ func (d *driver) kill() {
 	d.epochFloor = nj.Len()
 	d.report.Epochs[len(d.report.Epochs)-1].Losers = len(an.Losers)
 	d.report.Kills++
-	d.tracef("kill#%d keep=%d drop=%d torn=%d img=%016x losers=%d next=%s/%d",
-		d.report.Kills, cutEnd, len(recs)-cutEnd, torn, hashBytes(keep), len(an.Losers), mode, d.curBatch)
+	d.tracef("kill#%d keep=%d drop=%d torn=%d img=%016x losers=%d next=%s/%s/%d",
+		d.report.Kills, cutEnd, len(recs)-cutEnd, torn, hashBytes(keep), len(an.Losers), mode, cmode, d.curBatch)
 	d.checkConservation(fmt.Sprintf("after recovery %d", d.report.Kills))
 }
 
@@ -648,7 +689,7 @@ func (d *driver) checkConservation(when string) {
 	if err != nil {
 		d.fail("snapshot %s: %v", when, err)
 	}
-	if err := orderentry.CheckConservation(states, d.pop.InitialQOH); err != nil && d.report.Divergence == "" {
+	if err := orderentry.CheckConservationNet(states, d.pop.InitialQOH, d.netStock); err != nil && d.report.Divergence == "" {
 		d.report.Divergence = fmt.Sprintf("seed %d (%s): %v", d.cfg.Seed, when, err)
 	}
 }

@@ -16,6 +16,8 @@ import (
 	"sort"
 	"strings"
 
+	"semcc/internal/core"
+	"semcc/internal/oid"
 	"semcc/internal/oodb"
 	"semcc/internal/orderentry"
 	"semcc/internal/val"
@@ -37,6 +39,14 @@ const (
 	actGetQOH
 	actPutCust
 	actScanOrders
+	// actDebit/actCredit are direct stock-counter updates
+	// (DebitStock/CreditStock). Under the static regime they conflict
+	// with everything touching quantity-on-hand; under escrow epochs
+	// they are admitted against the bounds interval, so the same seeded
+	// plan exercises both admission paths across the driver's compat
+	// rotation.
+	actDebit
+	actCredit
 )
 
 // action is one generated step of a transaction plan.
@@ -44,7 +54,7 @@ type action struct {
 	kind  actionKind
 	item  int64 // ItemNo (all kinds)
 	order int64 // OrderNo (ship/pay/test/audit/putcust)
-	v     int64 // putcust value
+	v     int64 // putcust value / debit-credit amount
 }
 
 func (ac action) String() string {
@@ -67,6 +77,10 @@ func (ac action) String() string {
 		return fmt.Sprintf("cust(%d,%d):=%d", ac.item, ac.order, ac.v)
 	case actScanOrders:
 		return fmt.Sprintf("scan(%d)", ac.item)
+	case actDebit:
+		return fmt.Sprintf("debit(%d,%d)", ac.item, ac.v)
+	case actCredit:
+		return fmt.Sprintf("credit(%d,%d)", ac.item, ac.v)
 	}
 	return "?"
 }
@@ -87,7 +101,18 @@ func applyAction(a *orderentry.App, tx *oodb.Tx, ac action) (string, error) {
 			m = orderentry.MPayOrder
 		}
 		_, err = tx.Call(item, m, val.OfInt(ac.order))
-		return outcomeFrag(ac.String(), "ok", err)
+		return stockFrag(a, tx, item, ac, err)
+	case actDebit, actCredit:
+		item, err := a.Item(ac.item)
+		if err != nil {
+			return "", err
+		}
+		m := orderentry.MDebitStock
+		if ac.kind == actCredit {
+			m = orderentry.MCreditStock
+		}
+		_, err = tx.Call(item, m, val.OfInt(ac.v))
+		return stockFrag(a, tx, item, ac, err)
 	case actTestShipped, actTestPaid:
 		order, err := a.Order(ac.item, ac.order)
 		if err != nil {
@@ -182,17 +207,47 @@ func applyAction(a *orderentry.App, tx *oodb.Tx, ac action) (string, error) {
 }
 
 // outcomeFrag folds expected application errors into the observation.
+// A denied escrow reservation folds to the same fragment as the static
+// floor check: both mean "the debit does not fit the committed stock
+// plus this transaction's own prior updates", which is exactly what the
+// serial replay (always static-mode) reproduces.
 func outcomeFrag(base, ok string, err error) (string, error) {
 	switch {
 	case err == nil:
 		return base + "=" + ok, nil
-	case errors.Is(err, orderentry.ErrInsufficientStock):
+	case errors.Is(err, orderentry.ErrInsufficientStock), errors.Is(err, core.ErrEscrowBounds):
 		return base + "=stock", nil
 	case errors.Is(err, orderentry.ErrNoSuchOrder):
 		return base + "=noorder", nil
 	default:
 		return "", err
 	}
+}
+
+// stockFrag folds a stock-touching action's outcome and, on a floor
+// failure, pins the observation. A failed ship/debit is an observation
+// of quantity-on-hand made by a subtransaction that aborts — and an
+// aborted subtransaction leaves no lock footprint, so without a pin a
+// later CreditStock could commit before this root and the commit-order
+// replay would see the higher stock and flip the observation to =ok.
+// The pin is a retained read lock on the QOH atom: every subsequent
+// stock update then waits for this root, which puts the failure into
+// the serialization order the oracle replays. (Before CreditStock
+// existed no committed operation ever increased stock, so =stock was
+// stable under reordering and no pin was needed.)
+func stockFrag(a *orderentry.App, tx *oodb.Tx, item oid.OID, ac action, err error) (string, error) {
+	frag, ferr := outcomeFrag(ac.String(), "ok", err)
+	if ferr != nil || !strings.HasSuffix(frag, "=stock") {
+		return frag, ferr
+	}
+	atom, err := a.QOHAtom(item)
+	if err != nil {
+		return "", err
+	}
+	if _, err := tx.Get(atom); err != nil {
+		return "", err
+	}
+	return frag, nil
 }
 
 // programOf wraps an executed action prefix into a serial replay
@@ -270,7 +325,7 @@ func (g *gen) plan() (acs []action, wantAbort bool) {
 		item := int64(g.rng.Intn(g.cfg.Items)) + 1
 		// Weighted kind choice; ship falls back to pay on a dry pool.
 		var kind actionKind
-		switch w := g.rng.Intn(15); {
+		switch w := g.rng.Intn(20); {
 		case w < 3:
 			kind = actShip
 		case w < 6:
@@ -287,8 +342,12 @@ func (g *gen) plan() (acs []action, wantAbort bool) {
 			kind = actGetQOH
 		case w < 14:
 			kind = actPutCust
-		default:
+		case w < 15:
 			kind = actScanOrders
+		case w < 18:
+			kind = actDebit
+		default:
+			kind = actCredit
 		}
 		ac := action{kind: kind, item: item}
 		switch kind {
@@ -304,6 +363,8 @@ func (g *gen) plan() (acs []action, wantAbort bool) {
 		case actPutCust:
 			ac.order = g.anyOrder(item)
 			ac.v = int64(g.rng.Intn(900)) + 100
+		case actDebit, actCredit:
+			ac.v = int64(g.rng.Intn(3)) + 1
 		}
 		acs = append(acs, ac)
 	}

@@ -36,6 +36,13 @@ const (
 	OpRemove = "Remove"
 	// OpScan enumerates all members of a set.
 	OpScan = "Scan"
+	// OpAdd adds a signed delta to an atomic integer — a blind
+	// read-modify-write that commutes with itself (addition is
+	// commutative) but conflicts with Get and Put. It is the leaf
+	// operation escrow-admitted methods decrement counters with: the
+	// floor is guaranteed by the method-level escrow reservation, so
+	// the leaf needs no observing Get.
+	OpAdd = "Add"
 	// OpRoot labels transaction roots (actions on the database
 	// pseudo-object). Roots never commute with each other.
 	OpRoot = "Tx"
@@ -95,6 +102,7 @@ type Matrix struct {
 	typeName string
 	methods  []string
 	rules    map[[2]string]Rule
+	escrow   *EscrowSpec
 }
 
 // NewMatrix returns an empty matrix for the named object type, with
@@ -196,9 +204,12 @@ func (m *Matrix) Render() string {
 //   - Insert(k)/Insert(k') and Remove/Insert commute on distinct keys.
 //   - Scan conflicts with Insert and Remove (phantom protection) and
 //     commutes with Select and Scan.
+//   - Add/Add compatible (addition commutes); Add conflicts with Get
+//     and Put (the observing operations).
 func GenericMatrix() *Matrix {
-	m := NewMatrix("generic", OpGet, OpPut, OpSelect, OpInsert, OpRemove, OpScan)
+	m := NewMatrix("generic", OpGet, OpPut, OpAdd, OpSelect, OpInsert, OpRemove, OpScan)
 	m.Set(OpGet, OpGet, Always)
+	m.Set(OpAdd, OpAdd, Always)
 	m.Set(OpSelect, OpSelect, Always)
 	m.Set(OpScan, OpScan, Always)
 	m.Set(OpSelect, OpScan, Always)
@@ -207,24 +218,25 @@ func GenericMatrix() *Matrix {
 	m.Set(OpInsert, OpInsert, ArgsDiffer(0))
 	m.Set(OpInsert, OpRemove, ArgsDiffer(0))
 	m.Set(OpRemove, OpRemove, ArgsDiffer(0))
-	// Get/Put, Put/Put, Scan/Insert, Scan/Remove: default conflict.
+	// Get/Put, Put/Put, Get/Add, Put/Add, Scan/Insert, Scan/Remove:
+	// default conflict.
 	return m
 }
 
 // readOps and writeOps classify the generic operations for the
 // read/write baseline protocols.
 var readOps = map[string]bool{OpGet: true, OpSelect: true, OpScan: true}
-var writeOps = map[string]bool{OpPut: true, OpInsert: true, OpRemove: true}
+var writeOps = map[string]bool{OpPut: true, OpAdd: true, OpInsert: true, OpRemove: true}
 
 // IsGenericOp reports whether method is one of the generic leaf
-// operations (Get/Put/Select/Insert/Remove/Scan).
+// operations (Get/Put/Add/Select/Insert/Remove/Scan).
 func IsGenericOp(method string) bool { return readOps[method] || writeOps[method] }
 
 // IsReadOp reports whether method is a generic read (Get/Select/Scan).
 func IsReadOp(method string) bool { return readOps[method] }
 
 // IsWriteOp reports whether method is a generic write
-// (Put/Insert/Remove).
+// (Put/Add/Insert/Remove).
 func IsWriteOp(method string) bool { return writeOps[method] }
 
 // Table maps object OIDs (or object types) to compatibility rules. The

@@ -1,0 +1,302 @@
+// Cross-matrix compatibility contract tests. The in-package tests pin
+// individual rules; this file (an external test package, because the
+// application matrices live above internal/compat) runs one contract
+// over every registered matrix of the repository — the generic
+// operations, the order-entry Item and Order types, and the adts
+// Queue/Counter/Account types — so no matrix can drift from the
+// properties the lock manager assumes. It is the compatibility-layer
+// mirror of internal/core's journal_contract_test.go, and it is meant
+// to run under -race: the escrow section hammers one bounded counter
+// from concurrent transactions and then checks the interval
+// bookkeeping.
+package compat_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"semcc/adts"
+	"semcc/internal/compat"
+	"semcc/internal/core"
+	"semcc/internal/oodb"
+	"semcc/internal/orderentry"
+	"semcc/internal/val"
+)
+
+// matrices enumerates every compatibility matrix the repository
+// registers, with the methods whose escrow deltas must be refused
+// (compensations — a compensation must never be able to fail on a
+// bounds check, so it carries no delta).
+func matrices() []struct {
+	name     string
+	m        *compat.Matrix
+	noDeltas []string
+} {
+	return []struct {
+		name     string
+		m        *compat.Matrix
+		noDeltas []string
+	}{
+		{"generic", compat.GenericMatrix(), nil},
+		{"item", orderentry.ItemMatrix(), []string{orderentry.MUncreditStock, orderentry.MShipOrder, orderentry.MUnshipOrder}},
+		{"order", orderentry.OrderMatrix(), nil},
+		{"queue", adts.QueueMatrix(), nil},
+		{"counter", adts.CounterMatrix(), nil},
+		{"account", adts.AccountMatrix(), []string{adts.AUndeposit}},
+	}
+}
+
+// probePairs builds invocation pairs that exercise both branches of
+// parameter-dependent rules: equal arguments and differing arguments.
+func probePairs(a, b string) [][2]compat.Invocation {
+	args := func(vs ...int64) []val.V {
+		out := make([]val.V, len(vs))
+		for i, v := range vs {
+			out[i] = val.OfInt(v)
+		}
+		return out
+	}
+	return [][2]compat.Invocation{
+		{{Method: a, Args: args(1, 1)}, {Method: b, Args: args(1, 1)}},
+		{{Method: a, Args: args(1, 1)}, {Method: b, Args: args(2, 2)}},
+		{{Method: a, Args: args(7)}, {Method: b, Args: args(7)}},
+		{{Method: a, Args: args(7)}, {Method: b, Args: args(8)}},
+	}
+}
+
+// TestMatrixContractSymmetry: commutativity of two invocations is an
+// unordered property, so every registered rule must answer the same
+// for (a,b) and (b,a) — on equal and on differing arguments.
+func TestMatrixContractSymmetry(t *testing.T) {
+	for _, entry := range matrices() {
+		t.Run(entry.name, func(t *testing.T) {
+			methods := entry.m.Methods()
+			for _, a := range methods {
+				for _, b := range methods {
+					for _, pair := range probePairs(a, b) {
+						x, y := pair[0], pair[1]
+						if got, mirror := entry.m.Compatible(x, y), entry.m.Compatible(y, x); got != mirror {
+							t.Fatalf("%s: Compatible(%s, %s)=%t but Compatible(%s, %s)=%t",
+								entry.name, x, y, got, y, x, mirror)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMatrixContractDistinctKeySetOps pins the parameter-dependent set
+// admissions of the generic matrix the paper's §2.2 calls out:
+// insertions under distinct keys commute, and an insertion commutes
+// with a selection of a different key — while equal keys conflict
+// (the selection would observe the insertion).
+func TestMatrixContractDistinctKeySetOps(t *testing.T) {
+	g := compat.GenericMatrix()
+	inv := func(op string, key int64) compat.Invocation {
+		return compat.Invocation{Method: op, Args: []val.V{val.OfInt(key)}}
+	}
+	cases := []struct {
+		a, b compat.Invocation
+		want bool
+	}{
+		{inv(compat.OpInsert, 1), inv(compat.OpInsert, 2), true},
+		{inv(compat.OpInsert, 1), inv(compat.OpInsert, 1), false},
+		{inv(compat.OpInsert, 1), inv(compat.OpSelect, 2), true},
+		{inv(compat.OpInsert, 1), inv(compat.OpSelect, 1), false},
+		{inv(compat.OpInsert, 1), inv(compat.OpRemove, 2), true},
+		{inv(compat.OpInsert, 1), inv(compat.OpRemove, 1), false},
+		// Scan is a whole-set observation: no key distinction helps.
+		{inv(compat.OpInsert, 1), compat.Invocation{Method: compat.OpScan}, false},
+	}
+	for _, c := range cases {
+		if got := g.Compatible(c.a, c.b); got != c.want {
+			t.Fatalf("generic: Compatible(%s, %s) = %t, want %t", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestMatrixContractEscrowSpecs holds every escrow spec to the
+// declarative contract: Delta is pure (same invocation, same answer),
+// refuses invalid amounts, gives debits negative and credits positive
+// deltas, and refuses the compensation methods — a compensation that
+// could fail a bounds check would make aborts fail.
+func TestMatrixContractEscrowSpecs(t *testing.T) {
+	for _, entry := range matrices() {
+		t.Run(entry.name, func(t *testing.T) {
+			spec := entry.m.Escrow()
+			if spec == nil {
+				if len(entry.noDeltas) > 0 {
+					t.Fatalf("%s: expected an escrow spec", entry.name)
+				}
+				return
+			}
+			if spec.Component == "" {
+				t.Fatalf("%s: escrow spec without component", entry.name)
+			}
+			if spec.Ceil != 0 && spec.Ceil < spec.Floor {
+				t.Fatalf("%s: escrow bounds [%d, %d] are empty", entry.name, spec.Floor, spec.Ceil)
+			}
+			for _, method := range entry.m.Methods() {
+				inv := compat.Invocation{Method: method, Args: []val.V{val.OfInt(5)}}
+				d1, ok1 := spec.Delta(inv)
+				d2, ok2 := spec.Delta(inv)
+				if d1 != d2 || ok1 != ok2 {
+					t.Fatalf("%s: Delta(%s) is not pure: (%d,%t) then (%d,%t)",
+						entry.name, inv, d1, ok1, d2, ok2)
+				}
+				if ok1 && d1 == 0 {
+					t.Fatalf("%s: Delta(%s) declares a zero delta", entry.name, inv)
+				}
+				// A non-positive amount is never a valid counter move.
+				if _, ok := spec.Delta(compat.Invocation{Method: method, Args: []val.V{val.OfInt(-5)}}); ok {
+					t.Fatalf("%s: Delta accepts a negative amount on %s", entry.name, method)
+				}
+			}
+			for _, method := range entry.noDeltas {
+				inv := compat.Invocation{Method: method, Args: []val.V{val.OfInt(5)}}
+				if d, ok := spec.Delta(inv); ok {
+					t.Fatalf("%s: compensation/non-counter method %s carries escrow delta %d",
+						entry.name, method, d)
+				}
+			}
+		})
+	}
+}
+
+// TestEscrowAbortRestoresInterval pins the engine-side invariant the
+// satellite contract names: a reservation shrinks the object's bounds
+// interval, an abort restores it exactly (the compensation reverts the
+// store, the release reverts the interval), and a commit settles it
+// into the new committed base.
+func TestEscrowAbortRestoresInterval(t *testing.T) {
+	db := oodb.Open(oodb.Options{Protocol: core.Semantic, Compat: compat.CompatEscrow})
+	app, err := orderentry.Setup(db, orderentry.Config{
+		Items: 1, OrdersPerItem: 1, InitialQOH: 10, Price: 10, OrderQuantity: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, err := app.Item(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx := db.Begin()
+	if _, err := tx.Call(item, orderentry.MDebitStock, val.OfInt(3)); err != nil {
+		t.Fatal(err)
+	}
+	low, high, holds, ok := db.Engine().EscrowInterval(item)
+	if !ok || low != 7 || high != 10 || holds != 1 {
+		t.Fatalf("after debit reservation: interval [%d, %d] holds=%d ok=%t, want [7, 10] holds=1", low, high, holds, ok)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	low, high, holds, ok = db.Engine().EscrowInterval(item)
+	if !ok || low != 10 || high != 10 || holds != 0 {
+		t.Fatalf("after abort: interval [%d, %d] holds=%d ok=%t, want restored [10, 10] holds=0", low, high, holds, ok)
+	}
+
+	tx2 := db.Begin()
+	if _, err := tx2.Call(item, orderentry.MDebitStock, val.OfInt(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	low, high, holds, ok = db.Engine().EscrowInterval(item)
+	if !ok || low != 6 || high != 6 || holds != 0 {
+		t.Fatalf("after commit: interval [%d, %d] holds=%d ok=%t, want settled [6, 6] holds=0", low, high, holds, ok)
+	}
+
+	// A debit past the floor must fail deterministically and leave the
+	// interval untouched.
+	tx3 := db.Begin()
+	if _, err := tx3.Call(item, orderentry.MDebitStock, val.OfInt(7)); !errors.Is(err, core.ErrEscrowBounds) {
+		t.Fatalf("over-floor debit: err = %v, want ErrEscrowBounds", err)
+	}
+	if err := tx3.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	low, high, holds, _ = db.Engine().EscrowInterval(item)
+	if low != 6 || high != 6 || holds != 0 {
+		t.Fatalf("after denied debit: interval [%d, %d] holds=%d, want untouched [6, 6] holds=0", low, high, holds)
+	}
+}
+
+// TestEscrowConcurrentFloor hammers one bounded counter from
+// concurrent transactions under -race: every admitted combination of
+// debits and credits must keep the committed value at or above the
+// floor, and the final value must equal the initial value plus the
+// net of the debits and credits that actually committed.
+func TestEscrowConcurrentFloor(t *testing.T) {
+	const initialQOH = 4
+	db := oodb.Open(oodb.Options{Protocol: core.Semantic, Compat: compat.CompatEscrow})
+	app, err := orderentry.Setup(db, orderentry.Config{
+		Items: 1, OrdersPerItem: 1, InitialQOH: initialQOH, Price: 10, OrderQuantity: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var net int64
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				amt := int64(g%3 + 1)
+				var err error
+				if (g+i)%3 == 0 {
+					err = app.CreditTx(1, amt)
+					if err == nil {
+						mu.Lock()
+						net += amt
+						mu.Unlock()
+					}
+				} else {
+					err = app.DebitTx(1, amt)
+					if err == nil {
+						mu.Lock()
+						net -= amt
+						mu.Unlock()
+					}
+				}
+				if err != nil && !errors.Is(err, core.ErrEscrowBounds) && !errors.Is(err, orderentry.ErrInsufficientStock) {
+					errCh <- fmt.Errorf("goroutine %d op %d: %w", g, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	states, err := app.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 {
+		t.Fatalf("want 1 item state, got %d", len(states))
+	}
+	if got, want := states[0].QOH, int64(initialQOH)+net; got != want {
+		t.Fatalf("final QOH %d, want initial %d + committed net %d = %d", got, initialQOH, net, want)
+	}
+	if states[0].QOH < 0 {
+		t.Fatalf("floor breached: final QOH %d", states[0].QOH)
+	}
+	low, high, holds, ok := db.Engine().EscrowInterval(app.ItemOIDOf(1))
+	if ok && (holds != 0 || low != high) {
+		t.Fatalf("quiescent interval not settled: [%d, %d] holds=%d", low, high, holds)
+	}
+}

@@ -42,6 +42,21 @@ func (m *lockMgr) testConflict(h *lock, r *lock, stripe int, probe bool) *Tx {
 	if m.compatible(h.inv, r.inv) {
 		return nil
 	}
+	if h.escrowed && r.escrowed {
+		// State-dependent admission (escrow mode): both requests hold
+		// reservations on this object's counter, so both deltas fit the
+		// bounds interval simultaneously — the operations commute in
+		// the current state even though the static matrix conflicts
+		// them. Like case-1 grants, these leave no block/grant pair
+		// behind, so the trace tags them here (the tracer's stripe
+		// mutex is a leaf: emitting under the shard mutex cannot
+		// deadlock).
+		m.bumpStat(stripe, cEscrowAdmits, probe)
+		if !probe && m.tr.On() {
+			m.tr.Emit(stripe, trace.Event{Kind: trace.KEscrow, Node: rOwner.id, Root: rOwner.root.id, Obj: r.inv.Object, Peer: hOwner.id})
+		}
+		return nil
+	}
 	switch m.kind {
 	case Semantic:
 		if m.noRelief {

@@ -13,6 +13,7 @@ import (
 	"semcc/internal/history"
 	"semcc/internal/obs"
 	"semcc/internal/oid"
+	"semcc/internal/val"
 )
 
 // JournalKind tags a journal record.
@@ -37,6 +38,18 @@ const (
 	JNodeAborted
 	// JRootCommit: a top-level transaction committed.
 	JRootCommit
+	// JEscrowReserve: a node obtained an escrow reservation (escrow
+	// compat mode). Inv carries the counter object and the reserved
+	// delta as an OpAdd invocation; recovery uses these records to
+	// report the reservations a crash left outstanding (the store
+	// effects themselves are undone by the ordinary compensation
+	// machinery, which also restores the intervals — they are
+	// recomputed from committed state at restart).
+	JEscrowReserve
+	// JEscrowRelease: a node's escrow reservation was dropped without
+	// settling (abort path). Commit settlement is implied by
+	// JRootCommit and emits no record of its own.
+	JEscrowRelease
 )
 
 // JournalRecord is one write-ahead-log record. The engine emits them
@@ -155,6 +168,17 @@ type Config struct {
 	// tracer: disabled is one atomic load per site, nil a pointer
 	// check.
 	Obs *obs.Obs
+	// Compat selects the compatibility regime: CompatStatic (default)
+	// consults only the static matrices; CompatEscrow additionally
+	// maintains per-object escrow bounds intervals and admits
+	// statically-conflicting counter updates whose deltas both fit
+	// (state-dependent commutativity). Escrow mode requires EscrowRead
+	// and a Table implementing compat.EscrowTable.
+	Compat compat.Mode
+	// EscrowRead supplies a counter's committed value on the escrow
+	// table's first contact with an object (escrow mode only). The oodb
+	// layer installs component navigation plus an atomic read.
+	EscrowRead func(obj oid.OID, component string) (int64, error)
 	// Clock supplies every wall-time *measurement* the engine makes
 	// (span WAL timing, lock-wait attribution). Nil selects the real
 	// clock; deterministic harnesses inject clock.Fake. Scheduling
@@ -189,6 +213,11 @@ type Engine struct {
 	spans      *obs.SpanRecorder // nil when no Obs is attached
 	clk        clock.Clock
 
+	// compatMode and esc implement state-dependent commutativity; esc
+	// is nil in static mode.
+	compatMode compat.Mode
+	esc        *escrowTable
+
 	// exec runs a compensating invocation as a child of the given
 	// node; installed by the OODB layer (which owns method bodies).
 	exec func(parent *Tx, inv compat.Invocation) error
@@ -218,6 +247,19 @@ func New(cfg Config) *Engine {
 	}
 	stats := &Stats{}
 	clk := clock.Or(cfg.Clock)
+	var esc *escrowTable
+	var escTab compat.EscrowTable
+	if cfg.Compat == compat.CompatEscrow {
+		et, ok := cfg.Table.(compat.EscrowTable)
+		if !ok {
+			panic("core: CompatEscrow requires a Table implementing compat.EscrowTable")
+		}
+		if cfg.EscrowRead == nil {
+			panic("core: CompatEscrow requires Config.EscrowRead")
+		}
+		escTab = et
+		esc = newEscrowTable(cfg.EscrowRead)
+	}
 	lm := &lockMgr{
 		kind:     cfg.Kind,
 		table:    cfg.Table,
@@ -229,16 +271,20 @@ func New(cfg Config) *Engine {
 		stats:    stats,
 		tr:       cfg.Tracer,
 		clk:      clk,
+		esc:      esc,
+		escTab:   escTab,
 	}
 	e := &Engine{
-		kind:    cfg.Kind,
-		table:   cfg.Table,
-		record:  cfg.Record,
-		journal: cfg.Journal,
-		tr:      cfg.Tracer,
-		lm:      lm,
-		stats:   stats,
-		clk:     clk,
+		kind:       cfg.Kind,
+		table:      cfg.Table,
+		record:     cfg.Record,
+		journal:    cfg.Journal,
+		tr:         cfg.Tracer,
+		lm:         lm,
+		stats:      stats,
+		clk:        clk,
+		compatMode: cfg.Compat,
+		esc:        esc,
 	}
 	if aj, ok := cfg.Journal.(AckJournal); ok {
 		e.ackJournal = aj
@@ -252,6 +298,20 @@ func New(cfg Config) *Engine {
 
 // Kind returns the protocol the engine runs.
 func (e *Engine) Kind() ProtocolKind { return e.kind }
+
+// CompatMode returns the engine's compatibility regime.
+func (e *Engine) CompatMode() compat.Mode { return e.compatMode }
+
+// EscrowInterval reports obj's current escrow bounds interval and the
+// number of outstanding reservations. ok is false in static mode or
+// when the object's counter has not been touched yet (tests and
+// diagnostics).
+func (e *Engine) EscrowInterval(obj oid.OID) (low, high int64, holds int, ok bool) {
+	if e.esc == nil {
+		return 0, 0, 0, false
+	}
+	return e.esc.interval(obj)
+}
 
 // Table returns the compatibility table the engine consults (the
 // serializability checkers reuse it).
@@ -379,6 +439,14 @@ func (e *Engine) BeginChild(parent *Tx, inv compat.Invocation) (*Tx, error) {
 	}
 	if e.journal != nil {
 		e.journalAppend(t, JournalRecord{Kind: JBegin, Node: t.id, Parent: parent.id, Inv: &inv})
+		if t.escrowEnt != nil {
+			// The reservation is journalled as an OpAdd invocation on the
+			// counter object carrying the reserved delta, reusing the
+			// existing record encoding. Only the tree's driving goroutine
+			// writes t.escrowEnt, so this read is race-free.
+			rinv := compat.Inv(lockInv.Object, compat.OpAdd, val.OfInt(t.escrowDelta))
+			e.journalAppend(t, JournalRecord{Kind: JEscrowReserve, Node: t.id, Parent: parent.id, Inv: &rinv})
+		}
 	}
 	return t, nil
 }
@@ -454,6 +522,13 @@ func (e *Engine) CommitRoot(t *Tx) error {
 	// granularity); async durability mode skips the wait.
 	if e.journal != nil {
 		e.journalCommit(t, JournalRecord{Kind: JRootCommit, Node: t.id})
+	}
+	// Settle the tree's escrow reservations (fold the now-committed
+	// deltas into the counters' committed bases) before waiters wake via
+	// close(done), so a woken escrow request re-checks against settled
+	// intervals.
+	if e.esc != nil {
+		e.esc.settleTree(t)
 	}
 	t.setState(Committed)
 	t.endSeq = e.seq.Add(1)
@@ -534,6 +609,21 @@ func (e *Engine) abortNode(t *Tx) error {
 	// journal before the rollback becomes observable (nodes marked
 	// Aborted, locks released) — a crash in between re-runs an empty
 	// pending list, never un-aborts the tree.
+	// Drop the subtree's escrow reservations without settling — the
+	// compensations above reverted the store effects, so the committed
+	// bases are already right (forward and compensating deltas cancel).
+	// This runs before the done channels close below, so woken escrow
+	// waiters re-check against the restored intervals.
+	if e.esc != nil {
+		if e.journal != nil {
+			t.eachNode(func(n *Tx) {
+				if n.escrowEnt != nil {
+					e.journalAppend(t, JournalRecord{Kind: JEscrowRelease, Node: n.id})
+				}
+			})
+		}
+		e.esc.releaseTree(t)
+	}
 	if firstErr == nil && e.journal != nil {
 		// Root aborts are top-level outcomes like commits: park until
 		// the record is durable. Subtransaction rollbacks stay

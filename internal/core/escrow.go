@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"semcc/internal/compat"
+	"semcc/internal/oid"
+)
+
+// ErrEscrowBounds is returned by a lock acquisition whose escrow
+// reservation cannot possibly succeed: the object's bounds interval
+// violates the floor (or ceiling) even after every outstanding foreign
+// reservation resolves. It is the state-dependent analogue of an
+// application-level insufficient-stock error — deterministic given the
+// committed state and the requesting transaction's own prior updates,
+// which is what keeps escrow-mode runs serially reproducible.
+var ErrEscrowBounds = errors.New("core: escrow bounds exceeded")
+
+// escrowEntry tracks one escrow counter's bounds interval: the
+// committed value (base) plus the outstanding uncommitted deltas. The
+// interval of values the counter can still take is
+//
+//	[base + negSum, base + posSum]
+//
+// (every debit commits → low; every credit commits → high). A debit
+// of x is admissible iff low + x ≥ floor; a credit iff high + x ≤
+// ceil (when bounded above). All fields are guarded by the owning
+// stripe's mutex in escrowTable.
+type escrowEntry struct {
+	obj    oid.OID
+	spec   *compat.EscrowSpec
+	base   int64
+	negSum int64 // sum of outstanding negative deltas (≤ 0)
+	posSum int64 // sum of outstanding positive deltas (≥ 0)
+	holds  map[*Tx]int64
+}
+
+// reserveResult is the tri-state outcome of a reservation attempt.
+type reserveResult int
+
+const (
+	// reserveGranted: the delta fits the interval; the hold is
+	// recorded on the node.
+	reserveGranted reserveResult = iota
+	// reserveWait: the delta does not fit now, but foreign
+	// transactions hold reservations whose resolution can change the
+	// interval — wait for them.
+	reserveWait
+	// reserveInsufficient: the delta cannot fit even after every
+	// foreign reservation resolves (no foreign holders exist), so the
+	// request must fail deterministically.
+	reserveInsufficient
+)
+
+// escrowTable maintains the per-object escrow intervals. It is striped
+// by OID; each stripe's mutex is a leaf lock — reserve runs under the
+// lock manager's shard mutex (admission must be atomic with the lock
+// list examination), settle/release run lock-free from the commit and
+// abort paths. The read callback supplies a counter's committed value
+// on first contact (installed by the oodb layer: component navigation
+// plus an atomic read).
+type escrowTable struct {
+	read    func(obj oid.OID, component string) (int64, error)
+	stripes [16]escrowStripe
+}
+
+type escrowStripe struct {
+	mu sync.Mutex
+	m  map[oid.OID]*escrowEntry
+}
+
+func newEscrowTable(read func(obj oid.OID, component string) (int64, error)) *escrowTable {
+	et := &escrowTable{read: read}
+	for i := range et.stripes {
+		et.stripes[i].m = make(map[oid.OID]*escrowEntry)
+	}
+	return et
+}
+
+func (et *escrowTable) stripeOf(obj oid.OID) *escrowStripe {
+	return &et.stripes[obj.N%uint64(len(et.stripes))]
+}
+
+// reserve attempts to hold delta on obj's counter for node t. On
+// reserveWait the returned slice holds the distinct foreign roots
+// whose outstanding reservations the request must wait out (their
+// commit or abort moves the interval). Caller holds obj's lock-table
+// shard mutex; idempotent holds are the caller's job (a node reserves
+// at most once — it owns at most one lock).
+func (et *escrowTable) reserve(t *Tx, obj oid.OID, delta int64, spec *compat.EscrowSpec) (reserveResult, []*Tx, error) {
+	st := et.stripeOf(obj)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.m[obj]
+	if !ok {
+		base, err := et.read(obj, spec.Component)
+		if err != nil {
+			return reserveInsufficient, nil, fmt.Errorf("core: escrow base read of %s: %w", obj, err)
+		}
+		e = &escrowEntry{obj: obj, spec: spec, base: base, holds: make(map[*Tx]int64)}
+		st.m[obj] = e
+	} else if len(e.holds) == 0 {
+		// Between escrow uses a statically conflicting method (e.g.
+		// ShipOrder next to DebitStock) may have moved the committed
+		// value — such writers are excluded only while escrowed locks
+		// are outstanding, and every outstanding lock keeps its hold
+		// until root commit. With no holds the store value is the
+		// committed value, so refresh the cached base.
+		base, err := et.read(obj, spec.Component)
+		if err != nil {
+			return reserveInsufficient, nil, fmt.Errorf("core: escrow base read of %s: %w", obj, err)
+		}
+		e.base = base
+	}
+	fits := true
+	if delta < 0 && e.base+e.negSum+delta < spec.Floor {
+		fits = false
+	}
+	if delta > 0 && spec.Ceil != 0 && e.base+e.posSum+delta > spec.Ceil {
+		fits = false
+	}
+	if fits {
+		e.holds[t] = delta
+		if delta < 0 {
+			e.negSum += delta
+		} else {
+			e.posSum += delta
+		}
+		t.escrowEnt, t.escrowDelta = e, delta
+		return reserveGranted, nil, nil
+	}
+	// Foreign holders whose resolution moves the interval: a debit
+	// holder's abort raises low, a credit holder's commit raises it
+	// (and symmetrically for the ceiling). Waiting on all of them is
+	// conservative and simple; their done channels re-trigger the
+	// admission check.
+	var roots []*Tx
+	seen := make(map[*Tx]bool)
+	for h := range e.holds {
+		r := h.root
+		if r != t.root && !seen[r] {
+			seen[r] = true
+			roots = append(roots, r)
+		}
+	}
+	if len(roots) == 0 {
+		// Only the requester's own reservations (already counted in the
+		// interval) stand between the request and the bound: the
+		// failure is certain, exactly as a serial execution of the same
+		// prefix would fail its floor check.
+		return reserveInsufficient, nil, fmt.Errorf("%w: %s delta %+d on %s", ErrEscrowBounds, spec.Component, delta, obj)
+	}
+	return reserveWait, roots, nil
+}
+
+// release drops node t's reservation, if any, without applying it —
+// the abort path (the store effect, if it happened, is reverted by
+// compensation, so the committed value is unchanged).
+func (et *escrowTable) release(t *Tx) {
+	e := t.escrowEnt
+	if e == nil {
+		return
+	}
+	st := et.stripeOf(e.obj)
+	st.mu.Lock()
+	et.dropLocked(e, t, false)
+	st.mu.Unlock()
+}
+
+// dropLocked removes t's hold from e, folding the delta into base when
+// apply is set (commit settlement). Caller holds e's stripe mutex.
+func (et *escrowTable) dropLocked(e *escrowEntry, t *Tx, apply bool) {
+	delta, ok := e.holds[t]
+	if !ok {
+		t.escrowEnt, t.escrowDelta = nil, 0
+		return
+	}
+	delete(e.holds, t)
+	if delta < 0 {
+		e.negSum -= delta
+	} else {
+		e.posSum -= delta
+	}
+	if apply {
+		e.base += delta
+	}
+	t.escrowEnt, t.escrowDelta = nil, 0
+}
+
+// settleTree folds every surviving reservation of root's tree into the
+// committed bases (top-level commit: the holds' store effects are now
+// committed). Reservations of aborted subtrees were already dropped by
+// releaseTree during their abort. Called before the root's done
+// channel closes, so woken escrow waiters re-check against the settled
+// intervals.
+func (et *escrowTable) settleTree(root *Tx) {
+	root.eachNode(func(n *Tx) {
+		if e := n.escrowEnt; e != nil {
+			st := et.stripeOf(e.obj)
+			st.mu.Lock()
+			et.dropLocked(e, n, true)
+			st.mu.Unlock()
+		}
+	})
+}
+
+// releaseTree drops every reservation of t's subtree without applying
+// (abort: compensation reverts the store, so base is already right).
+// This covers both the aborted forward work and any compensating
+// children created during the abort — their deltas cancel in the
+// store, so neither side may reach base.
+func (et *escrowTable) releaseTree(t *Tx) {
+	t.eachNode(func(n *Tx) {
+		if e := n.escrowEnt; e != nil {
+			st := et.stripeOf(e.obj)
+			st.mu.Lock()
+			et.dropLocked(e, n, false)
+			st.mu.Unlock()
+		}
+	})
+}
+
+// interval reports obj's current bounds interval (tests and
+// diagnostics). ok is false when the object has no entry yet.
+func (et *escrowTable) interval(obj oid.OID) (low, high int64, holds int, ok bool) {
+	st := et.stripeOf(obj)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, found := st.m[obj]
+	if !found {
+		return 0, 0, 0, false
+	}
+	return e.base + e.negSum, e.base + e.posSum, len(e.holds), true
+}

@@ -63,6 +63,13 @@ type lock struct {
 	inv    compat.Invocation
 	owner  *Tx
 	queued bool // still in the wait queue (not granted)
+	// escrowed marks a request holding an escrow reservation for its
+	// invocation's counter delta (CompatEscrow mode). Two escrowed
+	// requests on the same object are compatible regardless of the
+	// static matrix: both deltas fit the bounds interval, so their
+	// updates commute in the current state. Only touched under the
+	// shard mutex.
+	escrowed bool
 }
 
 func (l *lock) String() string {
@@ -92,6 +99,13 @@ type lockMgr struct {
 	pageOf   func(oid.OID) (oid.OID, error)
 	noRelief bool
 	hooks    Hooks
+
+	// esc/escTab enable state-dependent escrow admission (CompatEscrow
+	// mode): escTab resolves an invocation to its counter delta, esc
+	// maintains the per-object bounds intervals. Both nil in
+	// CompatStatic mode.
+	esc    *escrowTable
+	escTab compat.EscrowTable
 
 	tbl   locktable.Table[*lock]
 	wfg   *waitgraph.Graph
@@ -186,6 +200,18 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 		m.tr.Emit(stripe, trace.Event{Kind: trace.KRequest, Node: t.id, Root: t.root.id, Obj: obj})
 	}
 
+	// Escrow eligibility is a pure function of the invocation; resolve
+	// it once. Only method invocations declared by their type's
+	// EscrowSpec qualify (CompatEscrow mode, semantic protocol).
+	var (
+		escDelta   int64
+		escSpec    *compat.EscrowSpec
+		escrowable bool
+	)
+	if m.esc != nil && m.kind == Semantic {
+		escDelta, escSpec, escrowable = m.escTab.EscrowOf(lockInv)
+	}
+
 	first := true
 	var blockedAt time.Time
 	blockCause := trace.CauseNone
@@ -194,6 +220,7 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			waits   []*Tx
 			granted bool
 			aborted bool
+			escErr  error
 		)
 		m.tbl.With(obj, func(h *lockHead) {
 			if t.root.State() == Aborted || t.State() == Aborted {
@@ -204,8 +231,44 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 				aborted = true
 				return
 			}
+			// Escrow admission runs under the shard mutex, atomically
+			// with the lock-list examination below: a reservation and
+			// the grant it enables are one indivisible step, so no
+			// interleaving can admit two deltas that together break the
+			// bounds. The escrow stripe mutex is a leaf under the shard
+			// mutex.
+			var escWaits []*Tx
+			if escrowable && !l.escrowed {
+				res, roots, err := m.esc.reserve(t, obj, escDelta, escSpec)
+				switch res {
+				case reserveGranted:
+					l.escrowed = true
+				case reserveInsufficient:
+					if l.queued {
+						h.RemoveQueued(l)
+						l.queued = false
+					}
+					escErr = err
+					return
+				case reserveWait:
+					escWaits = roots
+				}
+			}
 			waits = m.waitSet(h, l, stripe, false)
-			if len(waits) == 0 {
+			if len(escWaits) > 0 {
+				// Merge the escrow holders the reservation must wait
+				// out; their completion re-triggers the admission check.
+				seen := make(map[*Tx]bool, len(waits))
+				for _, w := range waits {
+					seen[w] = true
+				}
+				for _, r := range escWaits {
+					if !seen[r] {
+						waits = append(waits, r)
+					}
+				}
+			}
+			if len(waits) == 0 && !(escrowable && !l.escrowed) {
 				if l.queued {
 					h.RemoveQueued(l)
 					l.queued = false
@@ -220,7 +283,17 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			}
 		})
 		if aborted {
+			m.escRelease(t)
 			return fmt.Errorf("core: %s aborted while acquiring %s", t, lockInv)
+		}
+		if escErr != nil {
+			m.stats.bump(stripe, cEscrowDenials)
+			if !first {
+				waited := uint64(m.clk.Since(blockedAt))
+				m.stats.add(stripe, cWaitNanos, waited)
+				t.span.AddLockWait(obsCause(blockCause), waited)
+			}
+			return escErr
 		}
 		if granted {
 			t.locks = append(t.locks, l)
@@ -238,6 +311,16 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 				}
 			}
 			return nil
+		}
+		if l.escrowed {
+			// Going to park on a static conflict while holding a
+			// reservation would pin the interval against a base the
+			// conflicting writer is about to change, and would let a
+			// request that cannot be granted consume interval capacity
+			// other requests could use. Drop it; the retry re-reserves
+			// atomically with the next grant attempt.
+			m.escRelease(t)
+			l.escrowed = false
 		}
 		if first {
 			first = false
@@ -262,6 +345,7 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			m.wfg.Add(t.id, t.root.id, targets)
 		} else if m.wfg.AddAndCheck(t.id, t.root.id, targets) {
 			m.dequeue(l)
+			m.escRelease(t)
 			m.stats.bump(stripe, cDeadlocks)
 			t.span.AddLockWait(obsCause(blockCause), uint64(m.clk.Since(blockedAt)))
 			if m.tr.On() {
@@ -296,6 +380,7 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			// request joined after us): self-victimize.
 			m.wfg.Clear(t.id)
 			m.dequeue(l)
+			m.escRelease(t)
 			m.stats.bump(stripe, cDeadlocks)
 			t.span.AddLockWait(obsCause(blockCause), uint64(m.clk.Since(blockedAt)))
 			if m.tr.On() {
@@ -325,6 +410,15 @@ func (m *lockMgr) Acquire(t *Tx, lockInv compat.Invocation) error {
 			return nil
 		}
 		m.wfg.Clear(t.id)
+	}
+}
+
+// escRelease drops t's escrow reservation on an acquisition failure
+// path (nil-safe, idempotent; the node will never execute, so its
+// hold must not keep consuming interval capacity).
+func (m *lockMgr) escRelease(t *Tx) {
+	if m.esc != nil {
+		m.esc.release(t)
 	}
 }
 

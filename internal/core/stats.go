@@ -21,6 +21,8 @@ const (
 	cCase1Grants
 	cCase2Waits
 	cRootWaits
+	cEscrowAdmits
+	cEscrowDenials
 	cDeadlocks
 	cCompensations
 	cForcedGrants
@@ -36,11 +38,12 @@ const (
 // probability.
 const statStripes = 64
 
-// statStripe is one cache-padded block of counters. 16 counters × 8
-// bytes fill exactly two cache lines, so neighbouring stripes never
-// false-share.
+// statStripe is one block of counters, padded up to a whole number of
+// 64-byte cache lines (24 words = 3 lines for the current 18
+// counters) so neighbouring stripes never false-share.
 type statStripe struct {
 	c [numStatCounters]atomic.Uint64
+	_ [(8 - numStatCounters%8) % 8]uint64
 }
 
 // Stats aggregates engine-level concurrency-control counters. All
@@ -76,6 +79,9 @@ type StatsSnapshot struct {
 	Case2Waits  uint64 // waits for a commutative ancestor's subcommit (paper Fig. 7)
 	RootWaits   uint64 // worst case: waits for a top-level commit
 
+	EscrowAdmits  uint64 // statically-conflicting pairs admitted by escrow reservations
+	EscrowDenials uint64 // requests refused deterministically by escrow bounds
+
 	Deadlocks     uint64 // deadlock victims
 	Compensations uint64 // inverse invocations executed during aborts
 	ForcedGrants  uint64 // compensation force-grants (all-compensator cycles)
@@ -100,6 +106,42 @@ func (s StatsSnapshot) CaseMix() (case1, case2, root float64) {
 	return float64(s.Case1Grants) / f, float64(s.Case2Waits) / f, float64(s.RootWaits) / f
 }
 
+// CaseShare is one conflict-classification bucket: a rendered label, a
+// one-letter short form for compact table headers, the raw count, and
+// the bucket's share of all classified conflicts.
+type CaseShare struct {
+	Label string
+	Short string
+	Count uint64
+	Share float64
+}
+
+// CaseShares generalises CaseMix to the full classification, including
+// the state-dependent escrow admissions that exist only in escrow
+// compat mode. Buckets are returned in fixed order (escrow-admit,
+// case-1, case-2, root-wait); shares sum to 1 when any conflict was
+// classified and are all 0 for a conflict-free run. Buckets with zero
+// count are still returned, so callers can render stable columns.
+func (s StatsSnapshot) CaseShares() []CaseShare {
+	out := []CaseShare{
+		{Label: "escrow-admit", Short: "e", Count: s.EscrowAdmits},
+		{Label: "case1", Short: "1", Count: s.Case1Grants},
+		{Label: "case2", Short: "2", Count: s.Case2Waits},
+		{Label: "root-wait", Short: "r", Count: s.RootWaits},
+	}
+	var tot uint64
+	for _, c := range out {
+		tot += c.Count
+	}
+	if tot == 0 {
+		return out
+	}
+	for i := range out {
+		out[i].Share = float64(out[i].Count) / float64(tot)
+	}
+	return out
+}
+
 // Snapshot aggregates the stripes into a copyable view.
 func (s *Stats) Snapshot() StatsSnapshot {
 	var tot [numStatCounters]uint64
@@ -114,7 +156,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		LockRequests: tot[cLockRequests], ImmediateGrants: tot[cImmediateGrants],
 		Blocks: tot[cBlocks], WaitEvents: tot[cWaitEvents],
 		Case1Grants: tot[cCase1Grants], Case2Waits: tot[cCase2Waits],
-		RootWaits: tot[cRootWaits], Deadlocks: tot[cDeadlocks],
+		RootWaits: tot[cRootWaits], EscrowAdmits: tot[cEscrowAdmits],
+		EscrowDenials: tot[cEscrowDenials], Deadlocks: tot[cDeadlocks],
 		Compensations: tot[cCompensations], ForcedGrants: tot[cForcedGrants],
 		Retains: tot[cRetains], WaitNanos: tot[cWaitNanos],
 	}
@@ -149,6 +192,8 @@ func (s *Stats) register(r *obs.Registry) {
 		{cCase1Grants, "semcc_engine_case1_grants_total", "Fig. 9 case-1 pseudo-conflict grants (committed commutative ancestor)."},
 		{cCase2Waits, "semcc_engine_case2_waits_total", "Fig. 9 case-2 waits for a commutative ancestor's subcommit."},
 		{cRootWaits, "semcc_engine_root_waits_total", "Worst-case waits for a top-level commit."},
+		{cEscrowAdmits, "semcc_engine_escrow_admits_total", "Statically-conflicting lock pairs admitted by escrow reservations."},
+		{cEscrowDenials, "semcc_engine_escrow_denials_total", "Lock requests refused deterministically by escrow bounds."},
 		{cDeadlocks, "semcc_engine_deadlocks_total", "Deadlock victims."},
 		{cCompensations, "semcc_engine_compensations_total", "Compensating inverse invocations executed during aborts."},
 		{cForcedGrants, "semcc_engine_forced_grants_total", "Compensation force-grants (all-compensator cycles)."},

@@ -56,6 +56,11 @@ const (
 	KRetain
 	// KComp: one compensating invocation was executed during an abort.
 	KComp
+	// KEscrow: a state-dependent escrow admission — both sides of a
+	// statically-conflicting pair hold escrow reservations on the
+	// object's counter, so the conflict is ignored. Peer is the holder
+	// whose lock was overruled.
+	KEscrow
 	numKinds
 )
 
@@ -78,6 +83,8 @@ func (k Kind) String() string {
 		return "retain"
 	case KComp:
 		return "compensate"
+	case KEscrow:
+		return "escrow-admit"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

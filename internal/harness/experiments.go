@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"semcc/internal/compat"
 	"semcc/internal/core"
 	"semcc/internal/obs"
 	"semcc/internal/storage"
@@ -43,6 +44,15 @@ func SetStoreConfig(shards int, pool storage.PoolKind) {
 	poolKind = pool
 }
 
+// compatMode is the compatibility regime every experiment point runs
+// with; semcc-bench's -compat flag overrides it (the E8 axis: static
+// matrix only vs state-dependent escrow admission).
+var compatMode = compat.CompatStatic
+
+// SetCompat selects the compatibility regime for subsequent experiment
+// runs.
+func SetCompat(m compat.Mode) { compatMode = m }
+
 // sharedObs, when set, is attached to every experiment point's
 // database (semcc-bench's -serve mode: one live endpoint whose
 // metrics accumulate across points). When unset, each point gets its
@@ -57,6 +67,9 @@ func SetObs(o *obs.Obs) { sharedObs = o }
 func runPoint(cfg workload.Config) (workload.Metrics, error) {
 	cfg.Validate = true
 	cfg.LockTable = lockTable
+	if cfg.Compat == compat.CompatStatic {
+		cfg.Compat = compatMode
+	}
 	cfg.StoreShards = storeShards
 	cfg.PoolKind = poolKind
 	cfg.Obs = sharedObs
@@ -88,11 +101,14 @@ func metricCells(m workload.Metrics) []string {
 	}
 }
 
-// mix% is the Fig. 9 classification share case1/case2/root — the
-// paper's central quantitative claim, reported per figure row.
+// mix% is the conflict-classification share — the paper's central
+// quantitative claim (Fig. 9 cases plus the escrow-admit case),
+// reported per row. The column list comes from the engine's
+// classification table (workload.CaseMixHeader), not a hard-coded
+// triple, so new admission cases appear automatically.
 // p50/p99(ms) are root-transaction latency percentiles from the span
 // recorder (internal/obs); "-" when span collection is off.
-var metricHeader = []string{"tps", "commits", "retries", "blocks/tx", "rootwaits", "case1", "case2", "mix%(1/2/r)", "p50/p99(ms)", "deadlocks", "wait(µs)"}
+var metricHeader = []string{"tps", "commits", "retries", "blocks/tx", "rootwaits", "case1", "case2", workload.CaseMixHeader(), "p50/p99(ms)", "deadlocks", "wait(µs)"}
 
 func init() {
 	Register(&Experiment{

@@ -275,6 +275,36 @@ func (s *Store) WriteAtomic(id oid.OID, v val.V) error {
 	return err
 }
 
+// AddAtomic adds delta to the integer value of atomic object id and
+// returns the new value. Unlike WriteAtomic, the read-modify-write
+// runs under the shard's exclusive lock, so concurrent AddAtomics
+// never lose updates — the physical guarantee behind the blind OpAdd
+// leaf operation (Add/Add commutes at the lock level, so the engine
+// admits them concurrently and the store must make them atomic).
+func (s *Store) AddAtomic(id oid.OID, delta int64) (val.V, error) {
+	s.op((id.N-1)&s.mask, opWrite)
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	a, ok := sh.atoms[id]
+	if !ok {
+		return val.NullV, fmt.Errorf("objstore: no atomic object %s", id)
+	}
+	raw, err := sh.records.Read(a.rid)
+	if err != nil {
+		return val.NullV, err
+	}
+	v, _, err := val.Unmarshal(raw)
+	if err != nil {
+		return val.NullV, err
+	}
+	nv := val.OfInt(v.Int() + delta)
+	if _, err := sh.records.Update(a.rid, nv.Marshal()); err != nil {
+		return val.NullV, err
+	}
+	return nv, nil
+}
+
 // PageOf returns the OID of the storage page holding atomic object id.
 // It is the object→page mapping used by the page-level baseline.
 func (s *Store) PageOf(id oid.OID) (oid.OID, error) {

@@ -16,10 +16,10 @@ import (
 // conflicting Read, implemented over one atom, for engine-level tests.
 func registerPair(t *testing.T, db *DB) (regType *Type) {
 	t.Helper()
-	m := compat.NewMatrix("Reg", "Add", "Read", "Sub")
-	m.Set("Add", "Add", compat.Always)
-	m.Set("Sub", "Add", compat.Always)
-	m.Set("Sub", "Sub", compat.Always)
+	m := compat.NewMatrix("Reg", "AddN", "Read", "SubN")
+	m.Set("AddN", "AddN", compat.Always)
+	m.Set("SubN", "AddN", compat.Always)
+	m.Set("SubN", "SubN", compat.Always)
 	m.Set("Read", "Read", compat.Always)
 	addBody := func(sign int64) MethodFunc {
 		return func(ctx *Ctx, recv oid.OID, args []val.V) (val.V, error) {
@@ -35,11 +35,11 @@ func registerPair(t *testing.T, db *DB) (regType *Type) {
 		}
 	}
 	typ, err := NewType("Reg", m,
-		&Method{Name: "Add", Body: addBody(1), Inverse: func(inv compat.Invocation, _ val.V) *compat.Invocation {
-			c := compat.Inv(inv.Object, "Sub", inv.Args[0])
+		&Method{Name: "AddN", Body: addBody(1), Inverse: func(inv compat.Invocation, _ val.V) *compat.Invocation {
+			c := compat.Inv(inv.Object, "SubN", inv.Args[0])
 			return &c
 		}},
-		&Method{Name: "Sub", Body: addBody(-1)},
+		&Method{Name: "SubN", Body: addBody(-1)},
 		&Method{Name: "Read", ReadOnly: true, Body: func(ctx *Ctx, recv oid.OID, args []val.V) (val.V, error) {
 			nAtom, err := ctx.Component(recv, "N")
 			if err != nil {
@@ -108,10 +108,10 @@ func TestMethodCallAndAbortCompensation(t *testing.T) {
 	r := newReg(t, db, 100)
 
 	tx := db.Begin()
-	if _, err := tx.Call(r, "Add", val.OfInt(5)); err != nil {
+	if _, err := tx.Call(r, "AddN", val.OfInt(5)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tx.Call(r, "Add", val.OfInt(7)); err != nil {
+	if _, err := tx.Call(r, "AddN", val.OfInt(7)); err != nil {
 		t.Fatal(err)
 	}
 	if err := tx.Abort(); err != nil {
@@ -134,7 +134,7 @@ func TestBypassAndMethodsCoexist(t *testing.T) {
 	nAtom, _ := db.Component(r, "N")
 
 	tx := db.Begin()
-	if _, err := tx.Call(r, "Add", val.OfInt(1)); err != nil {
+	if _, err := tx.Call(r, "AddN", val.OfInt(1)); err != nil {
 		t.Fatal(err)
 	}
 	// Direct bypass read inside the same transaction.
@@ -158,7 +158,7 @@ func TestMethodVsGenericOpConflicts(t *testing.T) {
 	r := newReg(t, db, 0)
 
 	tx1 := db.Begin()
-	if _, err := tx1.Call(r, "Add", val.OfInt(1)); err != nil {
+	if _, err := tx1.Call(r, "AddN", val.OfInt(1)); err != nil {
 		t.Fatal(err)
 	}
 	tx2 := db.Begin()
@@ -182,7 +182,7 @@ func TestErrNoSuchMethodAndBadArgs(t *testing.T) {
 	}
 	// Unregistered object.
 	other, _ := db.Store().NewAtomic(val.OfInt(1))
-	if _, err := tx.Call(other, "Add", val.OfInt(1)); err == nil {
+	if _, err := tx.Call(other, "AddN", val.OfInt(1)); err == nil {
 		t.Error("method call on atom must fail")
 	}
 	if err := tx.Abort(); err != nil {
@@ -384,10 +384,10 @@ func TestCommutingMethodsRunConcurrently(t *testing.T) {
 	// sequenced deterministically from one goroutine.
 	tx1, tx2 := db.Begin(), db.Begin()
 	for i := 0; i < 3; i++ {
-		if _, err := tx1.Call(r, "Add", val.OfInt(1)); err != nil {
+		if _, err := tx1.Call(r, "AddN", val.OfInt(1)); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := tx2.Call(r, "Add", val.OfInt(10)); err != nil {
+		if _, err := tx2.Call(r, "AddN", val.OfInt(10)); err != nil {
 			t.Fatal(err)
 		}
 	}

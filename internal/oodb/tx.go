@@ -54,6 +54,13 @@ func (tx *Tx) Put(obj oid.OID, v val.V) error {
 	return err
 }
 
+// Add atomically adds delta to an atomic integer object directly
+// (bypass) and returns the new value. Add commutes with Add, so
+// concurrent increments never conflict; it conflicts with Get and Put.
+func (tx *Tx) Add(obj oid.OID, delta int64) (val.V, error) {
+	return tx.db.invoke(tx.root, compat.Inv(obj, compat.OpAdd, val.OfInt(delta)))
+}
+
 // Select looks up a set member by key directly (bypass).
 func (tx *Tx) Select(set oid.OID, key val.V) (oid.OID, bool, error) {
 	r, err := tx.db.invoke(tx.root, compat.Inv(set, compat.OpSelect, key))
@@ -132,6 +139,14 @@ func (c *Ctx) Get(obj oid.OID) (val.V, error) {
 func (c *Ctx) Put(obj oid.OID, v val.V) error {
 	_, err := c.db.invoke(c.node, compat.Inv(obj, compat.OpPut, v))
 	return err
+}
+
+// Add atomically adds delta to an atomic integer object and returns
+// the new value. The leaf operation of escrow-admitted counter
+// methods: no observing Get is needed, the method-level reservation
+// already guarantees the bounds.
+func (c *Ctx) Add(obj oid.OID, delta int64) (val.V, error) {
+	return c.db.invoke(c.node, compat.Inv(obj, compat.OpAdd, val.OfInt(delta)))
 }
 
 // Select looks up a set member by key.
@@ -220,7 +235,7 @@ func (db *DB) invoke(parent *core.Tx, inv compat.Invocation) (val.V, error) {
 // as the child actions they spawn).
 func (db *DB) run(node *core.Tx, inv compat.Invocation) (val.V, error) {
 	switch inv.Method {
-	case compat.OpGet, compat.OpPut, compat.OpSelect, compat.OpInsert, compat.OpRemove, compat.OpScan:
+	case compat.OpGet, compat.OpPut, compat.OpAdd, compat.OpSelect, compat.OpInsert, compat.OpRemove, compat.OpScan:
 		if sp := node.Span(); sp != nil {
 			start := time.Now()
 			v, err := db.runGeneric(inv)
@@ -257,6 +272,14 @@ func (db *DB) runGeneric(inv compat.Invocation) (val.V, error) {
 		// The before-image is the operation's internal result; the
 		// inverse Put restores it on compensation.
 		return before, nil
+	case compat.OpAdd:
+		if len(inv.Args) != 1 {
+			return val.NullV, fmt.Errorf("oodb: Add wants 1 argument, got %d", len(inv.Args))
+		}
+		// Blind read-modify-write under the store's shard write lock; no
+		// before-image is read into the transaction (the inverse is the
+		// negated delta, and escrow reservations guarantee any bounds).
+		return db.store.AddAtomic(inv.Object, inv.Args[0].Int())
 	case compat.OpSelect:
 		if len(inv.Args) != 1 {
 			return val.NullV, fmt.Errorf("oodb: Select wants 1 argument, got %d", len(inv.Args))
@@ -335,6 +358,9 @@ func (db *DB) inverseFor(inv compat.Invocation, result val.V) *compat.Invocation
 		return nil
 	case compat.OpPut:
 		c := compat.Inv(inv.Object, compat.OpPut, result)
+		return &c
+	case compat.OpAdd:
+		c := compat.Inv(inv.Object, compat.OpAdd, val.OfInt(-inv.Args[0].Int()))
 		return &c
 	case compat.OpInsert:
 		c := compat.Inv(inv.Object, compat.OpRemove, inv.Args[0])

@@ -63,6 +63,12 @@ func NewType(name string, matrix *compat.Matrix, methods ...*Method) (*Type, err
 		if m.Name == "" || m.Body == nil {
 			return nil, fmt.Errorf("oodb: type %s: method needs name and body", name)
 		}
+		if compat.IsGenericOp(m.Name) || m.Name == compat.OpRoot {
+			// Generic operation names are reserved: invocation dispatch
+			// routes them to the object store, so a method of the same
+			// name could never be called.
+			return nil, fmt.Errorf("oodb: type %s: method name %s is a reserved generic operation", name, m.Name)
+		}
 		if !universe[m.Name] {
 			return nil, fmt.Errorf("oodb: type %s: method %s missing from compatibility matrix", name, m.Name)
 		}
@@ -158,4 +164,27 @@ func (r *typeRegistry) Compatible(a, b compat.Invocation) bool {
 		return t.Matrix.Compatible(a, b)
 	}
 	return false
+}
+
+// EscrowOf implements compat.EscrowTable: it resolves a method
+// invocation to its escrow counter delta via the receiver type's
+// EscrowSpec. Generic operations and methods outside the spec's Delta
+// domain report ok=false (no reservation; the static matrix governs).
+func (r *typeRegistry) EscrowOf(inv compat.Invocation) (int64, *compat.EscrowSpec, bool) {
+	if compat.IsGenericOp(inv.Method) {
+		return 0, nil, false
+	}
+	t, ok := r.typeOf(inv.Object)
+	if !ok {
+		return 0, nil, false
+	}
+	spec := t.Matrix.Escrow()
+	if spec == nil {
+		return 0, nil, false
+	}
+	delta, ok := spec.Delta(inv)
+	if !ok {
+		return 0, nil, false
+	}
+	return delta, spec, true
 }

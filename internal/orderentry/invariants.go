@@ -115,6 +115,15 @@ func (a *App) Snapshot() ([]ItemState, error) {
 //
 // It returns a descriptive error for the first violation.
 func CheckConservation(states []ItemState, initialQOH int64) error {
+	return CheckConservationNet(states, initialQOH, nil)
+}
+
+// CheckConservationNet is CheckConservation for runs that also execute
+// direct stock-counter transactions (DebitTx/CreditTx): netStock maps
+// ItemNo to the net committed stock delta (credits − debits) the run
+// applied outside shipping, so the expected QOH becomes
+// initialQOH − Σ shipped + netStock.
+func CheckConservationNet(states []ItemState, initialQOH int64, netStock map[int64]int64) error {
 	for _, is := range states {
 		var shippedQty int64
 		for _, os := range is.Orders {
@@ -122,9 +131,9 @@ func CheckConservation(states []ItemState, initialQOH int64) error {
 				shippedQty += os.Quantity
 			}
 		}
-		if got, want := is.QOH, initialQOH-shippedQty; got != want {
-			return fmt.Errorf("orderentry: item %d QOH=%d, want %d (initial %d − shipped %d)",
-				is.ItemNo, got, want, initialQOH, shippedQty)
+		if got, want := is.QOH, initialQOH-shippedQty+netStock[is.ItemNo]; got != want {
+			return fmt.Errorf("orderentry: item %d QOH=%d, want %d (initial %d − shipped %d + net stock %d)",
+				is.ItemNo, got, want, initialQOH, shippedQty, netStock[is.ItemNo])
 		}
 	}
 	return nil

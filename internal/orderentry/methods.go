@@ -178,6 +178,87 @@ func (a *App) itemMethods() []*oodb.Method {
 			},
 		},
 		{
+			// DebitStock(i, Amount): decrements quantity-on-hand by
+			// Amount, failing when stock would go below zero. The body
+			// is compat-mode-aware: under the static regime it reads,
+			// checks the floor, and writes (serialised by the
+			// DebitStock/DebitStock method conflict); under escrow the
+			// method's reservation already guarantees the floor, so the
+			// body is one blind commutative Add with no observing Get.
+			Name: MDebitStock,
+			Body: func(ctx *oodb.Ctx, recv oid.OID, args []val.V) (val.V, error) {
+				amt, qohAtom, err := stockArgs(ctx, recv, args, MDebitStock)
+				if err != nil {
+					return val.NullV, err
+				}
+				if ctx.DB().CompatMode() == compat.CompatEscrow {
+					_, err := ctx.Add(qohAtom, -amt)
+					return val.NullV, err
+				}
+				qoh, err := ctx.Get(qohAtom)
+				if err != nil {
+					return val.NullV, err
+				}
+				if qoh.Int() < amt {
+					return val.NullV, fmt.Errorf("%w: item %s has %d, debit wants %d",
+						ErrInsufficientStock, recv, qoh.Int(), amt)
+				}
+				return val.NullV, ctx.Put(qohAtom, val.OfInt(qoh.Int()-amt))
+			},
+			Inverse: func(inv compat.Invocation, result val.V) *compat.Invocation {
+				return invOn(inv.Object, MCreditStock, inv.Args[0])
+			},
+		},
+		{
+			// CreditStock(i, Amount): increments quantity-on-hand by
+			// Amount (restock). No upper bound, so an escrow credit
+			// reservation is always granted.
+			Name: MCreditStock,
+			Body: func(ctx *oodb.Ctx, recv oid.OID, args []val.V) (val.V, error) {
+				amt, qohAtom, err := stockArgs(ctx, recv, args, MCreditStock)
+				if err != nil {
+					return val.NullV, err
+				}
+				if ctx.DB().CompatMode() == compat.CompatEscrow {
+					_, err := ctx.Add(qohAtom, amt)
+					return val.NullV, err
+				}
+				qoh, err := ctx.Get(qohAtom)
+				if err != nil {
+					return val.NullV, err
+				}
+				return val.NullV, ctx.Put(qohAtom, val.OfInt(qoh.Int()+amt))
+			},
+			Inverse: func(inv compat.Invocation, result val.V) *compat.Invocation {
+				return invOn(inv.Object, MUncreditStock, inv.Args[0])
+			},
+		},
+		{
+			// UncreditStock(i, Amount): compensation for CreditStock — a
+			// blind subtract with no floor check. Safe because it only
+			// ever reverts this transaction's own credit, and uncommitted
+			// credits never relax the escrow floor for foreign debits, so
+			// the subtraction cannot take QOH below what admitted debits
+			// were promised.
+			Name: MUncreditStock,
+			Body: func(ctx *oodb.Ctx, recv oid.OID, args []val.V) (val.V, error) {
+				amt, qohAtom, err := stockArgs(ctx, recv, args, MUncreditStock)
+				if err != nil {
+					return val.NullV, err
+				}
+				if ctx.DB().CompatMode() == compat.CompatEscrow {
+					_, err := ctx.Add(qohAtom, -amt)
+					return val.NullV, err
+				}
+				qoh, err := ctx.Get(qohAtom)
+				if err != nil {
+					return val.NullV, err
+				}
+				return val.NullV, ctx.Put(qohAtom, val.OfInt(qoh.Int()-amt))
+			},
+			// Compensation of a compensation falls back to children.
+		},
+		{
 			// TotalPayment(i) returns Money: the total value
 			// (Price×Quantity) of the item's paid orders. The body
 			// reads order status *directly* — bypassing the Order
@@ -309,6 +390,19 @@ func (a *App) orderMethods() []*oodb.Method {
 			},
 		},
 	}
+}
+
+// stockArgs validates a stock-counter method's (Amount) argument and
+// resolves the receiver's QOH atom.
+func stockArgs(ctx *oodb.Ctx, recv oid.OID, args []val.V, method string) (int64, oid.OID, error) {
+	if len(args) != 1 || args[0].Int() <= 0 {
+		return 0, oid.Nil, fmt.Errorf("orderentry: %s wants (Amount > 0)", method)
+	}
+	qohAtom, err := ctx.Component(recv, CompQOH)
+	if err != nil {
+		return 0, oid.Nil, err
+	}
+	return args[0].Int(), qohAtom, nil
 }
 
 // newOrderObject creates the Order tuple for NewOrder (transactional

@@ -124,6 +124,34 @@ func (a *App) NewOrderTx(itemNo, customerNo, quantity int64) (int64, error) {
 	return orderNo, err
 }
 
+// DebitTx runs one top-level transaction debiting amount units of
+// stock from an item — the hot-counter workload's conflict unit. Under
+// the static regime concurrent debits of one item serialise on the
+// DebitStock method conflict; under escrow they are admitted together
+// whenever their deltas fit the QOH interval.
+func (a *App) DebitTx(itemNo, amount int64) error {
+	return a.run(func(tx *oodb.Tx) error {
+		item, err := a.Item(itemNo)
+		if err != nil {
+			return err
+		}
+		_, err = tx.Call(item, MDebitStock, val.OfInt(amount))
+		return err
+	})
+}
+
+// CreditTx runs one top-level transaction restocking an item.
+func (a *App) CreditTx(itemNo, amount int64) error {
+	return a.run(func(tx *oodb.Tx) error {
+		item, err := a.Item(itemNo)
+		if err != nil {
+			return err
+		}
+		_, err = tx.Call(item, MCreditStock, val.OfInt(amount))
+		return err
+	})
+}
+
 // BypassAudit is a purely "conventional" transaction: it reads the
 // status atoms of the given orders directly with generic Gets (no
 // method invocations at all), the coexistence case of paper §1.1.

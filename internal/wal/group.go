@@ -93,6 +93,17 @@ type Config struct {
 	// correct for crash and contract tests, meaningless for durability
 	// benchmarks.
 	FlushDelay time.Duration
+	// DeviceSleep simulates FlushDelay by parking (time.Sleep) instead
+	// of the default busy-wait. A parked flush models a device the CPU
+	// is free to leave while the write is in flight: concurrent
+	// transactions keep executing and queue into the next batch, which
+	// is the regime group commit batches in (and the one the E8 escrow
+	// study measures lock-hold cost against). The host timer's
+	// granularity floors a parked flush — a millisecond or more on
+	// coarse-timer hosts — so parked sweeps measure batching structure
+	// and lock-hold amplification, not microsecond device accuracy. The
+	// default busy-wait keeps E7's exact per-flush charging.
+	DeviceSleep bool
 	// Clock supplies the journal's wall-time *measurements* (append,
 	// ack and flush latency metrics). Nil selects the real clock.
 	// Scheduling — the writer's MaxDelay timer, the simulated device
@@ -149,6 +160,7 @@ func New(cfg Config) Journal {
 	if cfg.Mode == ModeSync {
 		l := NewLog()
 		l.flushDelay = cfg.FlushDelay
+		l.flushPark = cfg.DeviceSleep
 		l.clk = clock.Or(cfg.Clock)
 		return l
 	}
@@ -193,6 +205,7 @@ type GroupLog struct {
 	maxBatch   int
 	maxDelay   time.Duration
 	flushDelay time.Duration
+	flushPark  bool
 
 	mu          sync.Mutex
 	recs        []core.JournalRecord
@@ -225,6 +238,7 @@ func NewGroupLog(cfg Config) *GroupLog {
 		maxBatch:   cfg.MaxBatch,
 		maxDelay:   cfg.MaxDelay,
 		flushDelay: cfg.FlushDelay,
+		flushPark:  cfg.DeviceSleep,
 		clk:        clock.Or(cfg.Clock),
 		done:       make(chan struct{}),
 	}
@@ -475,7 +489,7 @@ func (g *GroupLog) flushTo(end int, acks []chan struct{}, ackAt []time.Time) {
 	// fixing journal positions while the batch is in flight, and the
 	// acks below resolve only once the device write would be complete.
 	if n > 0 && g.flushDelay > 0 {
-		busyWait(g.flushDelay)
+		deviceWait(g.flushDelay, g.flushPark)
 	}
 	if on && n > 0 {
 		m.flushes.Inc()

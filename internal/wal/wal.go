@@ -53,8 +53,10 @@ type Log struct {
 	// flushDelay is the simulated fixed device latency charged per
 	// flush, while holding mu — synchronous flushes serialise on the
 	// device. Zero (the default, and NewLog's only mode) makes flushes
-	// free, which is what the recovery and crash tests want.
+	// free, which is what the recovery and crash tests want. flushPark
+	// charges it by parking instead of busy-waiting (Config.DeviceSleep).
 	flushDelay time.Duration
+	flushPark  bool
 	// om carries the attached observability metrics; an atomic pointer
 	// because Append reads it before taking the log mutex.
 	om atomic.Pointer[logObs]
@@ -148,7 +150,7 @@ func (l *Log) appendLocked(rec core.JournalRecord) {
 	l.durable = appendFrame(l.durable, l.recs[len(l.recs)-1:])
 	l.flushes++
 	if l.flushDelay > 0 {
-		busyWait(l.flushDelay)
+		deviceWait(l.flushDelay, l.flushPark)
 	}
 }
 
@@ -159,6 +161,17 @@ func (l *Log) appendLocked(rec core.JournalRecord) {
 func busyWait(d time.Duration) {
 	for end := time.Now().Add(d); time.Now().Before(end); {
 	}
+}
+
+// deviceWait charges one simulated device flush: busy (exact cost, CPU
+// burned) or parked (Config.DeviceSleep — the CPU is free while the
+// flush is in flight, at the host timer's granularity).
+func deviceWait(d time.Duration, park bool) {
+	if park {
+		time.Sleep(d)
+		return
+	}
+	busyWait(d)
 }
 
 // AppendAck implements core.AckJournal. The synchronous log is durable
@@ -341,7 +354,7 @@ func decodeRecord(b []byte, p int, i uint64) (core.JournalRecord, int, error) {
 		return r, p, fmt.Errorf("wal: truncated record %d", i)
 	}
 	r.Kind = core.JournalKind(b[p])
-	if r.Kind > core.JRootCommit {
+	if r.Kind > core.JEscrowRelease {
 		return r, p, fmt.Errorf("wal: record %d has invalid kind %d", i, b[p])
 	}
 	p++
@@ -425,6 +438,9 @@ type replayNode struct {
 	undo    []compat.Invocation
 	pending []compat.Invocation // remaining undo after AbortStart, in application order
 	started bool                // AbortStart seen
+	// reserve is the node's outstanding escrow reservation (the OpAdd
+	// invocation from JEscrowReserve), nil once released or never taken.
+	reserve *compat.Invocation
 	// childComp counts compensation steps already accounted through a
 	// compensation child's own JSubCommit but not yet matched by this
 	// node's JCompensated record (the two are distinct records, so a
@@ -445,6 +461,14 @@ type Analysis struct {
 type Loser struct {
 	Root    uint64
 	Pending []compat.Invocation
+	// Reservations are the escrow reservations (OpAdd invocations on
+	// counter objects) the crash left outstanding in the loser's tree,
+	// in reservation order. They need no explicit undo — the restarted
+	// engine recomputes intervals from committed state, and Pending's
+	// compensations revert the store effects — but they are exposed so
+	// recovery tooling can report and tests can assert exactly which
+	// escrow capacity died with the crash.
+	Reservations []compat.Invocation
 }
 
 // RecordSource is the read side Analyze and Recover need from a
@@ -547,6 +571,18 @@ func Analyze(l RecordSource) (*Analysis, error) {
 			if n, ok := nodes[r.Node]; ok {
 				n.state = core.Committed
 			}
+		case core.JEscrowReserve:
+			n, ok := nodes[r.Node]
+			if !ok {
+				return nil, fmt.Errorf("wal: escrow reserve for unknown node %d", r.Node)
+			}
+			n.reserve = r.Inv
+		case core.JEscrowRelease:
+			n, ok := nodes[r.Node]
+			if !ok {
+				return nil, fmt.Errorf("wal: escrow release for unknown node %d", r.Node)
+			}
+			n.reserve = nil
 		}
 	}
 
@@ -589,7 +625,21 @@ func Analyze(l RecordSource) (*Analysis, error) {
 				}
 			}
 		}
-		a.Losers = append(a.Losers, Loser{Root: r.id, Pending: pend})
+		// Outstanding escrow reservations die with the loser; collect
+		// them across the whole tree (subcommitted nodes keep their
+		// holds until the root's outcome), in reservation order.
+		var held []*replayNode
+		for _, n := range nodes {
+			if n.root == r && n.reserve != nil {
+				held = append(held, n)
+			}
+		}
+		sort.Slice(held, func(i, j int) bool { return held[i].seq < held[j].seq })
+		var resv []compat.Invocation
+		for _, n := range held {
+			resv = append(resv, *n.reserve)
+		}
+		a.Losers = append(a.Losers, Loser{Root: r.id, Pending: pend, Reservations: resv})
 	}
 	sort.Slice(a.Committed, func(i, j int) bool { return a.Committed[i] < a.Committed[j] })
 	sort.Slice(a.Losers, func(i, j int) bool { return a.Losers[i].Root < a.Losers[j].Root })

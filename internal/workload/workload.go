@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"semcc/internal/compat"
 	"semcc/internal/core"
 	"semcc/internal/core/trace"
 	"semcc/internal/obs"
@@ -46,6 +48,12 @@ const (
 	// KindBypassWrite updates an order's customer number with raw
 	// Get+Put (pure conventional transaction).
 	KindBypassWrite
+	// KindDebit debits one item's stock counter (DebitStock) — the
+	// hot-spot transaction whose self-conflicts the escrow compat mode
+	// removes.
+	KindDebit
+	// KindCredit restocks one item (CreditStock).
+	KindCredit
 	numKinds int = iota
 )
 
@@ -68,6 +76,10 @@ func (k TxKind) String() string {
 		return "BypassRead"
 	case KindBypassWrite:
 		return "BypassWrite"
+	case KindDebit:
+		return "Debit"
+	case KindCredit:
+		return "Credit"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -94,10 +106,29 @@ func UpdateOnlyMix() Mix { return Mix{KindT1: 50, KindT2: 50} }
 // transactions — the "special case" claim E4 measures.
 func BypassOnlyMix() Mix { return Mix{KindBypassRead: 50, KindBypassWrite: 50} }
 
+// HotCounterMix hammers the items' stock counters: mostly debits with
+// some restocking credits. Under the static compat regime every pair
+// of updates to one item conflicts; under escrow all of them are
+// admitted together as long as the deltas fit the QOH interval — the
+// E8 hot-spot experiment.
+func HotCounterMix() Mix { return Mix{KindDebit: 90, KindCredit: 10} }
+
+// InventoryMix is an auction/inventory-style workload: inventory
+// drains (debits) dominate, restocks trickle in, and readers total the
+// item — mixing escrow-admissible counter traffic with statically
+// conflicting scans.
+func InventoryMix() Mix {
+	return Mix{KindDebit: 50, KindCredit: 20, KindT5: 15, KindNewOrder: 15}
+}
+
 // Config parameterises one workload run.
 type Config struct {
 	// Protocol selects the concurrency control protocol.
 	Protocol core.ProtocolKind
+	// Compat selects the compatibility regime: CompatStatic (matrix
+	// only) or CompatEscrow (state-dependent admission against escrow
+	// bounds intervals).
+	Compat compat.Mode
 	// NoAncestorRelief forwards the E5 ablation knob to the engine.
 	NoAncestorRelief bool
 	// LockTable selects the engine's lock-table implementation
@@ -195,6 +226,12 @@ type Metrics struct {
 	// per-run numbers). Zero when span collection was off.
 	P50Ns uint64
 	P99Ns uint64
+	// NetStock maps ItemNo to the net committed stock delta (credits −
+	// debits) the run's Debit/Credit transactions applied. Combined with
+	// the conservation check it is a fingerprint of the final balances:
+	// two runs with equal NetStock ended with identical QOH per item —
+	// the E8 cross-mode equivalence assertion.
+	NetStock map[int64]int64
 }
 
 // AvgWaitMicros returns the mean blocked time per blocking lock
@@ -224,15 +261,37 @@ func (m Metrics) LatencyStr() string {
 	return fmt.Sprintf("%.2g/%.2g", float64(m.P50Ns)/1e6, float64(m.P99Ns)/1e6)
 }
 
-// CaseMix renders the Fig. 9 conflict-classification shares as
-// "case1/case2/root" percentages (e.g. "62/23/15"), or "-" for a
-// conflict-free run.
+// CaseMix renders the conflict-classification shares as slash-joined
+// percentages, one per classification case in CaseShares order
+// (escrow-admit/case1/case2/root-wait, e.g. "10/55/20/15"), or "-"
+// for a conflict-free run. The columns are not hard-coded: they follow
+// core.StatsSnapshot.CaseShares, so a new admission case shows up here
+// and in CaseMixHeader without touching the renderers.
 func (m Metrics) CaseMix() string {
-	c1, c2, rw := m.Engine.CaseMix()
-	if c1+c2+rw == 0 {
+	shares := m.Engine.CaseShares()
+	var total uint64
+	for _, cs := range shares {
+		total += cs.Count
+	}
+	if total == 0 {
 		return "-"
 	}
-	return fmt.Sprintf("%.0f/%.0f/%.0f", c1*100, c2*100, rw*100)
+	parts := make([]string, len(shares))
+	for i, cs := range shares {
+		parts[i] = fmt.Sprintf("%.0f", cs.Share*100)
+	}
+	return strings.Join(parts, "/")
+}
+
+// CaseMixHeader is the column header matching Metrics.CaseMix, e.g.
+// "mix%(e/1/2/r)" — built from the same classification table.
+func CaseMixHeader() string {
+	shares := core.StatsSnapshot{}.CaseShares()
+	shorts := make([]string, len(shares))
+	for i, cs := range shares {
+		shorts[i] = cs.Short
+	}
+	return "mix%(" + strings.Join(shorts, "/") + ")"
 }
 
 // Run executes the workload and returns its metrics.
@@ -253,6 +312,7 @@ func Run(cfg Config) (Metrics, error) {
 
 	db := oodb.Open(oodb.Options{
 		Protocol:         cfg.Protocol,
+		Compat:           cfg.Compat,
 		NoAncestorRelief: cfg.NoAncestorRelief,
 		LockTable:        cfg.LockTable,
 		StoreShards:      cfg.StoreShards,
@@ -347,6 +407,7 @@ func RunOn(app *orderentry.App, cfg Config) (Metrics, error) {
 		Retries:        retries.Load(),
 		Elapsed:        elapsed,
 		Engine:         app.DB.Engine().Stats(),
+		NetStock:       picker.netStockMap(),
 	}
 	if len(clientErrs) > 0 {
 		return m, errors.Join(clientErrs...)
@@ -363,7 +424,7 @@ func RunOn(app *orderentry.App, cfg Config) (Metrics, error) {
 		if err != nil {
 			return m, err
 		}
-		if err := orderentry.CheckConservation(states, cfg.InitialQOH); err != nil {
+		if err := orderentry.CheckConservationNet(states, cfg.InitialQOH, picker.netStockMap()); err != nil {
 			return m, fmt.Errorf("workload: invariant violated after run: %w", err)
 		}
 	}
@@ -389,7 +450,21 @@ type picker struct {
 	// no order is ever shipped twice (keeps the conservation invariant
 	// checkable).
 	nextShip []atomic.Int64
+	// netStock[i] accumulates item i+1's committed stock delta from
+	// Debit/Credit transactions (credits − debits), so the conservation
+	// check can account for counter traffic next to shipping.
+	netStock []atomic.Int64
 	zipf     *zipfTable
+}
+
+// netStockMap converts the per-item accumulators to the map
+// CheckConservationNet wants.
+func (p *picker) netStockMap() map[int64]int64 {
+	out := make(map[int64]int64, len(p.netStock))
+	for i := range p.netStock {
+		out[int64(i+1)] = p.netStock[i].Load()
+	}
+	return out
 }
 
 func newPicker(app *orderentry.App, cfg Config) (*picker, error) {
@@ -408,6 +483,7 @@ func newPicker(app *orderentry.App, cfg Config) (*picker, error) {
 	}
 	p.orders = make([][]int64, cfg.Items)
 	p.nextShip = make([]atomic.Int64, cfg.Items)
+	p.netStock = make([]atomic.Int64, cfg.Items)
 	for i := 1; i <= cfg.Items; i++ {
 		nos, err := app.OrderNosOf(int64(i))
 		if err != nil {
@@ -499,6 +575,22 @@ func (p *picker) execute(kind TxKind, rng *rand.Rand) error {
 		return err
 	case KindBypassWrite:
 		return p.bypassWrite(rng)
+	case KindDebit:
+		item := p.item(rng)
+		amt := rng.Int63n(3) + 1
+		if err := p.app.DebitTx(item, amt); err != nil {
+			return err
+		}
+		p.netStock[item-1].Add(-amt)
+		return nil
+	case KindCredit:
+		item := p.item(rng)
+		amt := rng.Int63n(3) + 1
+		if err := p.app.CreditTx(item, amt); err != nil {
+			return err
+		}
+		p.netStock[item-1].Add(amt)
+		return nil
 	default:
 		return fmt.Errorf("workload: unknown kind %d", int(kind))
 	}

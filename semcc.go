@@ -284,3 +284,33 @@ func Never(a, b Invocation) bool { return compat.Never(a, b) }
 // ArgsDiffer returns a Rule that grants compatibility iff the i-th
 // arguments differ (parameter-dependent commutativity).
 func ArgsDiffer(i int) Rule { return compat.ArgsDiffer(i) }
+
+// CompatMode selects the compatibility regime (see Options.Compat):
+// whether the lock manager consults only the static matrices or
+// additionally admits counter updates against per-object escrow
+// bounds intervals.
+type CompatMode = compat.Mode
+
+// The implemented compatibility regimes. CompatStatic is the default;
+// CompatEscrow adds state-dependent admission for methods whose
+// matrix carries an escrow specification (SetEscrow).
+const (
+	// CompatStatic decides every pair from the static matrix alone.
+	CompatStatic = compat.CompatStatic
+	// CompatEscrow additionally grants escrow-specified updates on
+	// the same object whenever their summed deltas keep the object's
+	// counter component inside its [Floor, Ceil] bounds.
+	CompatEscrow = compat.CompatEscrow
+)
+
+// ParseCompatMode parses the -compat spelling of a regime (static or
+// escrow).
+func ParseCompatMode(s string) (CompatMode, error) { return compat.ParseMode(s) }
+
+// CompatModes lists both compatibility regimes in comparison order.
+func CompatModes() []CompatMode { return compat.Modes() }
+
+// EscrowSpec declares a matrix's escrow-maintained counter component
+// and bounds; attach one with Matrix.SetEscrow to make the type's
+// updates eligible for state-dependent admission under CompatEscrow.
+type EscrowSpec = compat.EscrowSpec
