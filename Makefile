@@ -2,16 +2,25 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench bench-store bench-obs bench-wal bench-compat fuzz-regress race-recovery fuzz chaos BENCH_6.json BENCH_8.json
+.PHONY: check build test race vet staticcheck bench bench-store bench-obs bench-wal bench-compat bench-dist fuzz-regress race-recovery fuzz chaos BENCH_6.json BENCH_8.json BENCH_9.json
 
 # The full gate: what CI (and every PR) must pass. `race` runs the
 # whole suite (including the recovery and crash-point tests) under the
 # race detector; fuzz-regress replays the checked-in fuzz seed corpus
 # in regression mode (no fuzzing engine, just the corpus).
-check: vet build race fuzz-regress
+check: vet staticcheck build race fuzz-regress
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck when the binary is on PATH (CI installs it; locally it is
+# optional so `make check` works on a bare toolchain).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -94,3 +103,16 @@ bench-compat:
 # grid; the headline row is hot-counter at zipf s=1.4, MPL=16).
 BENCH_8.json:
 	$(GO) run ./cmd/semcc-bench -exp E8 -json > $@
+
+# The multi-node topology comparison (E9): one engine direct vs N-node
+# clusters behind the in-process transport and 2PC coordinator. The
+# topology smoke (direct / 1-node / 2-node, conservation-validated)
+# runs first; direct vs nodes=1 in the sweep is the pure coordinator
+# overhead.
+bench-dist:
+	$(GO) test ./internal/harness -run TestDistPointSmoke -v
+	$(GO) run ./cmd/semcc-bench -exp E9 -quick
+
+# Regenerate the checked-in E9 topology sweep (full parameter grid).
+BENCH_9.json:
+	$(GO) run ./cmd/semcc-bench -exp E9 -json > $@

@@ -1,5 +1,5 @@
 // Command semcc-bench runs the performance experiments (DESIGN.md §4,
-// E1–E8) and prints their tables. Every experiment compares the
+// E1–E9) and prints their tables. Every experiment compares the
 // paper's semantic open-nested protocol against the conventional
 // baselines on the order-entry workload.
 //
@@ -22,6 +22,11 @@
 //	                               # (the checked-in BENCH_6.json)
 //	semcc-bench -exp E8 -json      # compat-regime sweep as JSON
 //	                               # (the checked-in BENCH_8.json)
+//	semcc-bench -exp E9 -json      # topology sweep as JSON
+//	                               # (the checked-in BENCH_9.json)
+//	semcc-bench -nodes 2           # run every experiment point on a
+//	                               # two-node cluster behind the 2PC
+//	                               # coordinator (0 = direct engine)
 //	semcc-bench -hot               # contention profile per protocol:
 //	                               # top-K hottest objects + per-case
 //	                               # wait-time histograms + case mix
@@ -52,13 +57,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E8); empty runs all")
+	exp := flag.String("exp", "", "experiment id (E1..E9); empty runs all")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	lockmgr := flag.String("lockmgr", "striped", "lock table implementation: striped or global")
 	store := flag.String("store", "sharded", "object store layout: sharded or global (single shard)")
 	storeShards := flag.Int("storeshards", 0, "with -store=sharded: shard count override (0 = default)")
 	pool := flag.String("pool", "partitioned", "buffer pool implementation: partitioned or global")
 	compatFlag := flag.String("compat", "static", "compatibility regime: static (matrix only) or escrow (state-dependent admission)")
+	nodes := flag.Int("nodes", 0, "node count: 0 runs one engine directly; N >= 1 shards every experiment point over an N-node cluster behind the 2PC coordinator")
 	walMode := flag.String("wal", "none", "journal attached to every experiment point: none, sync, group or async")
 	walBatch := flag.Int("walbatch", 0, "with -wal=group|async: records per batch before a forced flush (0 = default)")
 	walDelay := flag.Duration("waldelay", 0, "with -wal=group|async: max age of an unflushed record (0 = default)")
@@ -71,6 +77,25 @@ func main() {
 	serve := flag.String("serve", "", "address for the live observability endpoint (e.g. :8080); keeps serving after the run")
 	slowms := flag.Int("slowms", 0, "with -serve: log span trees of root transactions taking >= this many milliseconds")
 	flag.Parse()
+
+	// Reject an unknown -exp up front: every later mode (-hot, -json
+	// sweeps, the table runner) would otherwise silently fall through
+	// to its default behaviour.
+	var exps []*harness.Experiment
+	if *exp == "" {
+		exps = harness.All()
+	} else {
+		e, ok := harness.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; have:\n", *exp)
+			for _, e := range harness.All() {
+				fmt.Fprintf(os.Stderr, "  %s — %s\n", e.ID, e.Title)
+			}
+			fmt.Fprintln(os.Stderr, "usage: semcc-bench [-exp <id>] [-quick] [-json] ... (see -help)")
+			os.Exit(2)
+		}
+		exps = []*harness.Experiment{e}
+	}
 
 	lt, err := core.ParseLockTable(*lockmgr)
 	if err != nil {
@@ -102,6 +127,12 @@ func main() {
 		os.Exit(2)
 	}
 	harness.SetCompat(cm)
+
+	if *nodes < 0 {
+		fmt.Fprintf(os.Stderr, "invalid -nodes %d (want 0 for direct or a positive cluster size)\n", *nodes)
+		os.Exit(2)
+	}
+	harness.SetNodes(*nodes)
 
 	if *walMode != "" && *walMode != "none" {
 		m, err := wal.ParseMode(*walMode)
@@ -159,21 +190,16 @@ func main() {
 		fmt.Println(string(out))
 		return
 	}
-
-	var exps []*harness.Experiment
-	if *exp == "" {
-		exps = harness.All()
-	} else {
-		e, ok := harness.Get(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; have:\n", *exp)
-			for _, e := range harness.All() {
-				fmt.Fprintf(os.Stderr, "  %s — %s\n", e.ID, e.Title)
-			}
-			os.Exit(2)
+	if *asJSON && *exp == "E9" {
+		out, err := harness.DistSweepJSON(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		exps = []*harness.Experiment{e}
+		fmt.Println(string(out))
+		return
 	}
+
 	for _, e := range exps {
 		tables, err := e.Run(*quick)
 		if err != nil {

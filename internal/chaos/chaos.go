@@ -47,6 +47,15 @@ type Config struct {
 	// PoolFrames sizes the buffer pool (default 16 — deliberately
 	// tiny, so the run evicts constantly).
 	PoolFrames int
+	// Nodes selects the topology for the whole run: 0 or 1 is the
+	// single-engine driver, N ≥ 2 shards the database over N engine
+	// nodes behind the in-process transport with every root a
+	// two-phase-commit coordinator transaction. Ownership is fixed at
+	// population time, so the node count cannot rotate mid-run;
+	// instead each kill takes down a single node, rotating the victim
+	// across kills, and recovers it from its own journal while the
+	// rest of the cluster keeps running.
+	Nodes int
 	// Inject enables the deliberate fault: mid-run, an item's
 	// quantity-on-hand atom is corrupted by a non-transactional store
 	// write. The oracle must report a divergence naming the seed.
@@ -68,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PoolFrames <= 0 {
 		c.PoolFrames = 16
+	}
+	if c.Nodes < 2 {
+		c.Nodes = 1
 	}
 	return c
 }

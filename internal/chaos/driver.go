@@ -38,6 +38,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -47,7 +48,10 @@ import (
 	"semcc/internal/clock"
 	"semcc/internal/compat"
 	"semcc/internal/core"
+	"semcc/internal/dist"
+	"semcc/internal/oid"
 	"semcc/internal/oodb"
+	"semcc/internal/ordercluster"
 	"semcc/internal/orderentry"
 	"semcc/internal/serial"
 	"semcc/internal/val"
@@ -85,8 +89,12 @@ type event struct {
 
 // rootState is one live root transaction and its serving goroutine.
 type rootState struct {
-	name      string
-	tx        *oodb.Tx
+	name string
+	tx   orderentry.Session
+	// key identifies the root in byCore: the engine root id on a
+	// single node, the coordinator's global transaction id on a
+	// cluster.
+	key       uint64
 	app       *orderentry.App // the epoch's app at spawn time
 	cmds      chan cmd
 	resume    chan struct{} // OnWake gate
@@ -117,6 +125,17 @@ type driver struct {
 	db      *oodb.DB
 	app     *orderentry.App
 	journal wal.Journal
+
+	// Multi-node topology (Config.Nodes >= 2): the database is
+	// sharded over cluster's nodes, every root runs through the
+	// two-phase-commit coordinator, and kills take down a single
+	// rotating node instead of the whole process. journals[i] is node
+	// i's journal; crashEpoch marks the window between a node kill and
+	// its recovery, in which a forced commit may legitimately die on
+	// the dead participant.
+	cluster    *dist.Cluster
+	journals   []wal.Journal
+	crashEpoch bool
 
 	byCore map[uint64]*rootState // root core id → state; guarded by mu
 	mu     chan struct{}         // 1-token mutex (keeps imports lean)
@@ -165,35 +184,7 @@ func newDriver(cfg Config) *driver {
 		OrderQuantity: 1,
 	}
 	d.gen = newGen(d.rng, d.pop)
-	d.hooks = core.Hooks{
-		OnBlock: func(t *core.Tx, waits []*core.Tx) {
-			r := d.rootByCore(t.Root().ID())
-			if r == nil {
-				return
-			}
-			self := t.Root().ID()
-			seen := map[uint64]bool{}
-			ids := make([]uint64, 0, len(waits))
-			for _, w := range waits {
-				id := w.Root().ID()
-				if id == self || seen[id] {
-					continue
-				}
-				seen[id] = true
-				ids = append(ids, id)
-			}
-			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-			d.events <- event{kind: evBlocked, root: r, waits: ids}
-		},
-		OnWake: func(t *core.Tx) {
-			r := d.rootByCore(t.Root().ID())
-			if r == nil {
-				return
-			}
-			d.events <- event{kind: evWake, root: r}
-			<-r.resume // park until the driver finishes the resolution
-		},
-	}
+	d.hooks = d.hooksAt(0)
 	modes := wal.Modes()
 	for _, i := range d.rng.Perm(len(modes)) {
 		d.modeSeq = append(d.modeSeq, modes[i])
@@ -211,6 +202,43 @@ func newDriver(cfg Config) *driver {
 		d.killAt = append(d.killAt, i*cfg.Actions/(kills+1))
 	}
 	d.curBatch = batchChoices[d.rng.Intn(len(batchChoices))]
+	if cfg.Nodes >= 2 {
+		// Multi-node: one engine, lock table, escrow table, pool and
+		// journal per node, the order-entry population sharded by item
+		// ownership, every root a coordinator transaction. The
+		// compatibility regime is fixed for the whole run (a kill
+		// restarts one node, not the cluster, and mixing regimes
+		// across live nodes would make the admission behaviour depend
+		// on object placement); the durability mode still rotates with
+		// each crashed node's fresh journal.
+		d.journals = make([]wal.Journal, cfg.Nodes)
+		d.cluster = dist.OpenCluster(cfg.Nodes, func(i int) oodb.Options {
+			j := wal.New(wal.Config{
+				Mode:     d.modeSeq[0],
+				MaxBatch: d.curBatch,
+				MaxDelay: time.Hour,
+				Clock:    d.clk,
+			})
+			d.journals[i] = j
+			return oodb.Options{
+				PoolFrames: cfg.PoolFrames,
+				Journal:    j,
+				Hooks:      d.hooksAt(i),
+				Clock:      d.clk,
+				Compat:     d.compatSeq[0],
+			}
+		})
+		app, err := ordercluster.Setup(d.cluster, d.pop)
+		if err != nil {
+			d.fail("setup: %v", err)
+		}
+		d.app = app
+		d.db = d.cluster.Node(0).DB()
+		d.journal = d.journals[0]
+		d.tracef("seed=%d actions=%d roots=%d nodes=%d kills=%v mode=%s compat=%s batch=%d pop=%+v",
+			cfg.Seed, cfg.Actions, cfg.Roots, cfg.Nodes, d.killAt, d.journal.Mode(), d.db.CompatMode(), d.curBatch, d.pop)
+		return d
+	}
 	j := wal.New(wal.Config{
 		Mode:     d.modeSeq[0],
 		MaxBatch: d.curBatch,
@@ -234,6 +262,65 @@ func newDriver(cfg Config) *driver {
 	d.tracef("seed=%d actions=%d roots=%d kills=%v mode=%s compat=%s batch=%d pop=%+v",
 		cfg.Seed, cfg.Actions, cfg.Roots, d.killAt, j.Mode(), d.db.CompatMode(), d.curBatch, d.pop)
 	return d
+}
+
+// hooksAt builds node's engine hooks. Block and wake events carry the
+// driver-level root, resolved through the node's local-root → global
+// transaction id table on a cluster (the identity on one node).
+func (d *driver) hooksAt(node int) core.Hooks {
+	return core.Hooks{
+		OnBlock: func(t *core.Tx, waits []*core.Tx) {
+			r := d.rootAt(node, t.Root().ID())
+			if r == nil {
+				return
+			}
+			seen := map[uint64]bool{}
+			ids := make([]uint64, 0, len(waits))
+			for _, w := range waits {
+				id, ok := d.keyAt(node, w.Root().ID())
+				if !ok || id == r.key || seen[id] {
+					continue
+				}
+				seen[id] = true
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			d.events <- event{kind: evBlocked, root: r, waits: ids}
+		},
+		OnWake: func(t *core.Tx) {
+			r := d.rootAt(node, t.Root().ID())
+			if r == nil {
+				return
+			}
+			d.events <- event{kind: evWake, root: r}
+			<-r.resume // park until the driver finishes the resolution
+		},
+	}
+}
+
+// keyAt maps a node-local engine root id to the driver's byCore key.
+func (d *driver) keyAt(node int, local uint64) (uint64, bool) {
+	if d.cluster == nil {
+		return local, true
+	}
+	return d.cluster.Node(node).GIDOf(local)
+}
+
+// rootAt resolves a node-local root id to its driver state.
+func (d *driver) rootAt(node int, local uint64) *rootState {
+	key, ok := d.keyAt(node, local)
+	if !ok {
+		return nil
+	}
+	return d.rootByCore(key)
+}
+
+// ownerDB returns the database owning an object (d.db on one node).
+func (d *driver) ownerDB(obj oid.OID) *oodb.DB {
+	if d.cluster != nil {
+		return d.cluster.OwnerDB(obj)
+	}
+	return d.db
 }
 
 func (d *driver) rootByCore(id uint64) *rootState {
@@ -307,10 +394,22 @@ func (d *driver) serve(r *rootState) {
 
 func (d *driver) spawn() *rootState {
 	plan, wantAbort := d.gen.plan()
-	tx := d.db.Begin()
+	var tx orderentry.Session
+	var key uint64
+	if d.cluster != nil {
+		ct, err := d.cluster.Begin()
+		if err != nil {
+			d.fail("spawn: %v", err)
+		}
+		tx, key = ct, ct.GID()
+	} else {
+		ot := d.db.Begin()
+		tx, key = ot, ot.Root().ID()
+	}
 	r := &rootState{
 		name:      fmt.Sprintf("r%d", d.rootSeq),
 		tx:        tx,
+		key:       key,
 		app:       d.app,
 		cmds:      make(chan cmd),
 		resume:    make(chan struct{}),
@@ -319,11 +418,11 @@ func (d *driver) spawn() *rootState {
 	}
 	d.rootSeq++
 	d.mu <- struct{}{}
-	d.byCore[tx.Root().ID()] = r
+	d.byCore[key] = r
 	<-d.mu
 	d.live = append(d.live, r)
 	go d.serve(r)
-	d.tracef("spawn %s core=%d plan=%d abort=%t", r.name, tx.Root().ID(), len(plan), wantAbort)
+	d.tracef("spawn %s core=%d plan=%d abort=%t", r.name, key, len(plan), wantAbort)
 	return r
 }
 
@@ -398,6 +497,17 @@ func (d *driver) forceCommit(h *rootState) {
 	d.tracef("forcecommit %s after %d/%d actions", h.name, h.next, len(h.plan))
 	h.cmds <- cmd{kind: cmdCommit}
 	_, err := d.awaitDone(h)
+	if err != nil && d.crashEpoch && errors.Is(err, dist.ErrNodeDown) {
+		// The holder's two-phase commit reached the killed node before
+		// the decision was logged: the coordinator aborted every
+		// reachable branch, which released the locks the blocked root
+		// is waiting for, and the holder joins the crash casualties.
+		h.done = true
+		d.removeLive(h)
+		d.report.CrashAborted++
+		d.tracef("forcecommit %s died with the killed node", h.name)
+		return
+	}
 	d.finishCommit(h, err)
 }
 
@@ -496,9 +606,23 @@ func (d *driver) run() {
 		Mode:     d.journal.Mode().String(),
 		Compat:   d.db.CompatMode().String(),
 		MaxBatch: d.curBatch,
-		Records:  d.journal.Len(),
+		Records:  d.journalLen(),
 	})
 	d.report.Actions = d.doneActions
+}
+
+// journalLen is the run's current durable record count: one journal's
+// length on a single node, the sum over every node's journal on a
+// cluster.
+func (d *driver) journalLen() int {
+	if d.cluster == nil {
+		return d.journal.Len()
+	}
+	n := 0
+	for _, j := range d.journals {
+		n += j.Len()
+	}
+	return n
 }
 
 // inject is the deliberate fault: a non-transactional write bumping an
@@ -513,11 +637,12 @@ func (d *driver) inject() {
 	if err != nil {
 		d.fail("inject: %v", err)
 	}
-	v, err := d.db.ReadAtom(atom)
+	db := d.ownerDB(atom)
+	v, err := db.ReadAtom(atom)
 	if err != nil {
 		d.fail("inject: %v", err)
 	}
-	if err := d.db.Store().WriteAtomic(atom, val.OfInt(v.Int()+7)); err != nil {
+	if err := db.Store().WriteAtomic(atom, val.OfInt(v.Int()+7)); err != nil {
 		d.fail("inject: %v", err)
 	}
 	d.tracef("inject qoh(1) %d -> %d", v.Int(), v.Int()+7)
@@ -528,6 +653,10 @@ func (d *driver) inject() {
 // its tail (see the package comment for why the cut must drop only
 // root-commit records).
 func (d *driver) kill() {
+	if d.cluster != nil {
+		d.killNode()
+		return
+	}
 	j := d.journal
 	j.Sync()
 
@@ -679,6 +808,115 @@ func (d *driver) kill() {
 	d.report.Kills++
 	d.tracef("kill#%d keep=%d drop=%d torn=%d img=%016x losers=%d next=%s/%s/%d",
 		d.report.Kills, cutEnd, len(recs)-cutEnd, torn, hashBytes(keep), len(an.Losers), mode, cmode, d.curBatch)
+	d.checkConservation(fmt.Sprintf("after recovery %d", d.report.Kills))
+}
+
+// killNode is the multi-node crash: one node — rotating
+// deterministically across kills — dies at a quiescent point and is
+// recovered from its own journal's durable image while the rest of
+// the cluster keeps its state. Unlike the single-node kill, no
+// committed work is dropped (every node Syncs first, so the cut is
+// the full synced image plus an optional torn tail); the crash
+// coverage here is the branches: every root open at the kill loses
+// its branch on the dead node to recovery's rollback, while its
+// surviving branches are compensated through the coordinator — the
+// cross-node analogue of "open roots die with the engine".
+func (d *driver) killNode() {
+	victim := d.report.Kills % len(d.journals)
+	for _, j := range d.journals {
+		j.Sync()
+	}
+	j := d.journals[victim]
+	img := append([]byte(nil), j.DurableBytes()...)
+	recs := j.Records()
+	_, batches, err := wal.UnmarshalDurable(img)
+	if err != nil {
+		d.fail("killnode: durable image corrupt: %v", err)
+	}
+	if len(batches) > 0 && batches[len(batches)-1].End != len(recs) {
+		d.fail("killnode: durable image covers %d of %d records after Sync",
+			batches[len(batches)-1].End, len(recs))
+	}
+	keep := img
+	torn := d.rng.Intn(4)
+	if torn > 0 {
+		keep = append(keep, []byte{0xFF, 0xFF, 0x7F}[:torn]...)
+	}
+
+	d.cluster.Node(victim).Kill()
+	d.crashEpoch = true
+	// Abort every open root through the coordinator: the dead node
+	// answers ErrNodeDown (its branch is recovery's problem), the live
+	// nodes compensate. A blocked compensation still resolves through
+	// the normal force-commit path; a forced commit that hits the dead
+	// participant aborts instead (see forceCommit).
+	for len(d.live) > 0 {
+		r := d.live[0]
+		d.tracef("crashopen %s after %d/%d actions", r.name, r.next, len(r.plan))
+		_, err := d.exec(r, cmd{kind: cmdAbort})
+		if err != nil {
+			d.fail("killnode: crash abort of %s: %v", r.name, err)
+		}
+		r.done = true
+		d.removeLive(r)
+		d.report.CrashAborted++
+	}
+	d.crashEpoch = false
+	d.mu <- struct{}{}
+	d.byCore = make(map[uint64]*rootState)
+	<-d.mu
+
+	d.report.Epochs = append(d.report.Epochs, Epoch{
+		Mode:      j.Mode().String(),
+		Compat:    d.db.CompatMode().String(),
+		MaxBatch:  d.curBatch,
+		Records:   len(recs),
+		TornBytes: torn,
+	})
+
+	// Recover the victim over the shared store: fresh journal with a
+	// rotated durability mode, in-doubt branches resolved against the
+	// coordinator's decision log (none here — kills happen at
+	// quiescent points — but the resolver is always wired).
+	mode := d.modeSeq[(d.report.Kills+1)%len(d.modeSeq)]
+	d.curBatch = batchChoices[d.rng.Intn(len(batchChoices))]
+	nj := wal.New(wal.Config{
+		Mode:     mode,
+		MaxBatch: d.curBatch,
+		MaxDelay: time.Hour,
+		Clock:    d.clk,
+	})
+	cutLog, _, err := wal.UnmarshalDurable(keep)
+	if err != nil {
+		d.fail("killnode: recovering cut image: %v", err)
+	}
+	if cutLog.Len() != len(recs) {
+		d.fail("killnode: cut image decodes %d records, want %d", cutLog.Len(), len(recs))
+	}
+	an, err := d.cluster.RecoverNode(victim, oodb.Options{
+		PoolFrames: d.cfg.PoolFrames,
+		Journal:    nj,
+		Hooks:      d.hooksAt(victim),
+		Clock:      d.clk,
+		Compat:     d.compatSeq[0],
+	}, cutLog)
+	if err != nil {
+		d.fail("killnode: recovery: %v", err)
+	}
+	d.journals[victim] = nj
+	if victim == 0 {
+		d.journal = nj
+		d.db = d.cluster.Node(0).DB()
+	}
+	attached, err := orderentry.Attach(d.cluster.Node(victim).DB())
+	if err != nil {
+		d.fail("killnode: attach: %v", err)
+	}
+	d.app.Peers[victim] = attached
+	d.report.Epochs[len(d.report.Epochs)-1].Losers = len(an.Losers)
+	d.report.Kills++
+	d.tracef("killnode#%d victim=%d keep=%d torn=%d img=%016x losers=%d next=%s/%d",
+		d.report.Kills, victim, len(recs), torn, hashBytes(keep), len(an.Losers), mode, d.curBatch)
 	d.checkConservation(fmt.Sprintf("after recovery %d", d.report.Kills))
 }
 

@@ -18,7 +18,6 @@ import (
 
 	"semcc/internal/core"
 	"semcc/internal/oid"
-	"semcc/internal/oodb"
 	"semcc/internal/orderentry"
 	"semcc/internal/val"
 )
@@ -89,7 +88,7 @@ func (ac action) String() string {
 // observation fragment. Expected application outcomes — insufficient
 // stock — are folded into the fragment (they are observations, and the
 // serial replay must reproduce them); everything else is an error.
-func applyAction(a *orderentry.App, tx *oodb.Tx, ac action) (string, error) {
+func applyAction(a *orderentry.App, tx orderentry.Session, ac action) (string, error) {
 	switch ac.kind {
 	case actShip, actPay:
 		item, err := a.Item(ac.item)
@@ -175,7 +174,7 @@ func applyAction(a *orderentry.App, tx *oodb.Tx, ac action) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		atom, err := a.DB.Component(order, orderentry.CompCustomer)
+		atom, err := a.Component(order, orderentry.CompCustomer)
 		if err != nil {
 			return "", err
 		}
@@ -188,7 +187,7 @@ func applyAction(a *orderentry.App, tx *oodb.Tx, ac action) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		set, err := a.DB.Component(item, orderentry.CompOrders)
+		set, err := a.Component(item, orderentry.CompOrders)
 		if err != nil {
 			return "", err
 		}
@@ -235,7 +234,7 @@ func outcomeFrag(base, ok string, err error) (string, error) {
 // the serialization order the oracle replays. (Before CreditStock
 // existed no committed operation ever increased stock, so =stock was
 // stable under reordering and no pin was needed.)
-func stockFrag(a *orderentry.App, tx *oodb.Tx, item oid.OID, ac action, err error) (string, error) {
+func stockFrag(a *orderentry.App, tx orderentry.Session, item oid.OID, ac action, err error) (string, error) {
 	frag, ferr := outcomeFrag(ac.String(), "ok", err)
 	if ferr != nil || !strings.HasSuffix(frag, "=stock") {
 		return frag, ferr
@@ -255,7 +254,10 @@ func stockFrag(a *orderentry.App, tx *oodb.Tx, item oid.OID, ac action, err erro
 // the same applier.
 func programOf(acs []action) orderentry.Program {
 	return func(a *orderentry.App) (string, error) {
-		tx := a.DB.Begin()
+		tx, err := a.Begin()
+		if err != nil {
+			return "", err
+		}
 		frags := make([]string, 0, len(acs))
 		for _, ac := range acs {
 			frag, err := applyAction(a, tx, ac)

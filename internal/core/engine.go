@@ -50,6 +50,20 @@ const (
 	// settling (abort path). Commit settlement is implied by
 	// JRootCommit and emits no record of its own.
 	JEscrowRelease
+	// JPrepare: a root transaction entered the prepared state as a
+	// participant of a distributed commit (2PC phase 1). Parent
+	// carries the coordinator's global transaction id. The record is
+	// forced durable before PrepareRoot returns; until a decision
+	// record (or outcome) follows, recovery must treat the root as
+	// in-doubt and resolve it from the coordinator's decision log.
+	JPrepare
+	// JDecide: the coordinator's 2PC decision reached this
+	// participant. Parent carries the global transaction id; Splice
+	// true means commit, false abort. A commit decision without a
+	// following JRootCommit still commits on recovery (the decision
+	// is the commit point); an abort decision falls back to the
+	// ordinary loser path.
+	JDecide
 )
 
 // JournalRecord is one write-ahead-log record. The engine emits them
@@ -222,7 +236,10 @@ type Engine struct {
 	// node; installed by the OODB layer (which owns method bodies).
 	exec func(parent *Tx, inv compat.Invocation) error
 
-	lm    LockManager
+	lm LockManager
+	// wfg is the lock manager's waits-for graph, held directly for the
+	// distributed-detection surface (WaitEdges/VictimizeRoot).
+	wfg   *waitgraph.Graph
 	stats *Stats
 
 	recMu sync.Mutex
@@ -281,6 +298,7 @@ func New(cfg Config) *Engine {
 		journal:    cfg.Journal,
 		tr:         cfg.Tracer,
 		lm:         lm,
+		wfg:        lm.wfg,
 		stats:      stats,
 		clk:        clk,
 		compatMode: cfg.Compat,
@@ -319,6 +337,19 @@ func (e *Engine) Table() compat.Table { return e.table }
 
 // LockManager returns the engine's lock-table component.
 func (e *Engine) LockManager() LockManager { return e.lm }
+
+// WaitEdges snapshots the engine's root-collapsed waits-for edges.
+// The distributed deadlock detector pulls one snapshot per node and
+// merges them; edges reference this node's local root ids.
+func (e *Engine) WaitEdges() []waitgraph.Edge { return e.wfg.Edges() }
+
+// VictimizeRoot condemns the given local root for a deadlock cycle an
+// external (cross-node) detector found: its blocked waiter observes
+// the sentence on its next periodic recheck and returns ErrDeadlock,
+// exactly as for a locally detected cycle. A root with no blocked
+// waiter leaves the sentence pending until one blocks or the root
+// finishes.
+func (e *Engine) VictimizeRoot(root uint64) { e.wfg.Victimize(root) }
 
 // SetExec installs the compensation executor. It must be set before
 // any abort can run logical undo.
@@ -541,10 +572,54 @@ func (e *Engine) CommitRoot(t *Tx) error {
 	// grants — release order is a wake-up optimisation, not a
 	// correctness requirement.)
 	e.lm.ReleaseTree(t)
+	// Drop any unconsumed external victim sentence: the root finished,
+	// so the cross-node cycle it participated in is broken.
+	e.wfg.ConsumeVictim(t.id)
 	close(t.done)
 	e.stats.bump(int(t.id), cRootsCommitted)
 	e.spans.FinishRoot(t.span, obs.OutcomeCommitted)
 	return nil
+}
+
+// PrepareRoot enters top-level transaction t into the prepared state
+// of a distributed two-phase commit: the JPrepare record — tagged with
+// the coordinator's global transaction id — is forced durable before
+// the call returns, after which this participant guarantees it can
+// commit t (all effects and their compensations are journaled) and
+// must not abort it unilaterally. The root stays Active and keeps
+// every lock; the coordinator resolves it with DecideRoot. Recovery of
+// a journal whose last word on t is JPrepare reports t as in-doubt
+// (wal.Analysis.InDoubt) for resolution against the coordinator's
+// decision log.
+func (e *Engine) PrepareRoot(t *Tx, gid uint64) error {
+	if !t.IsRoot() {
+		return fmt.Errorf("core: PrepareRoot on non-root %s", t)
+	}
+	if t.State() != Active {
+		return fmt.Errorf("core: PrepareRoot on %s root %s", t.State(), t)
+	}
+	if e.journal != nil {
+		e.journalCommit(t, JournalRecord{Kind: JPrepare, Node: t.id, Parent: gid})
+	}
+	return nil
+}
+
+// DecideRoot applies the coordinator's two-phase-commit decision to a
+// prepared root: the JDecide record is submitted first (fixing its
+// position before the outcome record CommitRoot/AbortRoot forces
+// durable, so a journal never shows an outcome without its decision),
+// then the root commits or aborts exactly as in the single-node path.
+func (e *Engine) DecideRoot(t *Tx, gid uint64, commit bool) error {
+	if !t.IsRoot() {
+		return fmt.Errorf("core: DecideRoot on non-root %s", t)
+	}
+	if e.journal != nil {
+		e.journalAppend(t, JournalRecord{Kind: JDecide, Node: t.id, Parent: gid, Splice: commit})
+	}
+	if commit {
+		return e.CommitRoot(t)
+	}
+	return e.AbortRoot(t)
 }
 
 // AbortChild rolls back subtransaction t: its committed children are
@@ -566,6 +641,7 @@ func (e *Engine) AbortRoot(t *Tx) error {
 		return fmt.Errorf("core: AbortRoot on non-root %s", t)
 	}
 	err := e.abortNode(t)
+	e.wfg.ConsumeVictim(t.id)
 	e.stats.bump(int(t.id), cRootsAborted)
 	return err
 }

@@ -476,6 +476,12 @@ func (m *lockMgr) waitAll(t *Tx, chans []<-chan struct{}) waitOutcome {
 			select {
 			case <-ch:
 			case <-timer.C:
+				// A distributed detector may have condemned this root
+				// for a cross-node cycle no local graph can see; the
+				// sentence is consumed exactly once.
+				if !t.compensating && m.wfg.ConsumeVictim(t.root.id) {
+					return waitVictim
+				}
 				if m.wfg.HasCycle(t.root.id) {
 					if !t.compensating {
 						return waitVictim

@@ -92,6 +92,32 @@ type StatsSnapshot struct {
 	WaitNanos uint64
 }
 
+// Add returns the field-wise sum of two snapshots. Multi-node runs
+// use it to merge per-node engine statistics into one cluster-wide
+// view; note that branch-level counters (RootsStarted and friends)
+// then count every node's branch of a root, not distinct roots.
+func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
+	s.RootsStarted += o.RootsStarted
+	s.RootsCommitted += o.RootsCommitted
+	s.RootsAborted += o.RootsAborted
+	s.Subtxs += o.Subtxs
+	s.LockRequests += o.LockRequests
+	s.ImmediateGrants += o.ImmediateGrants
+	s.Blocks += o.Blocks
+	s.WaitEvents += o.WaitEvents
+	s.Case1Grants += o.Case1Grants
+	s.Case2Waits += o.Case2Waits
+	s.RootWaits += o.RootWaits
+	s.EscrowAdmits += o.EscrowAdmits
+	s.EscrowDenials += o.EscrowDenials
+	s.Deadlocks += o.Deadlocks
+	s.Compensations += o.Compensations
+	s.ForcedGrants += o.ForcedGrants
+	s.Retains += o.Retains
+	s.WaitNanos += o.WaitNanos
+	return s
+}
+
 // CaseMix returns the Fig. 9 conflict-classification shares: the
 // fractions of classified conflicts that resolved as case-1
 // pseudo-conflict grants, case-2 subcommit waits, and worst-case

@@ -19,6 +19,18 @@ import "sync"
 type Graph struct {
 	mu    sync.RWMutex
 	waits map[uint64]entry // waiting node id → its root and targets
+	// victims are roots condemned by an external detector (the
+	// distributed coordinator merging per-node graphs); their blocked
+	// waiters consume the sentence on their next periodic recheck.
+	victims map[uint64]bool
+}
+
+// Edge is one root-collapsed waits-for edge: the waiting root and one
+// root it waits for. The per-node snapshot the distributed deadlock
+// detector merges.
+type Edge struct {
+	Waiter uint64
+	Target uint64
 }
 
 type entry struct {
@@ -28,7 +40,51 @@ type entry struct {
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{waits: make(map[uint64]entry)}
+	return &Graph{waits: make(map[uint64]entry), victims: make(map[uint64]bool)}
+}
+
+// Edges snapshots the root-collapsed waits-for edges, deduplicated.
+// The distributed detector pulls these per node and merges them; local
+// cycle checks never need it.
+func (g *Graph) Edges() []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[Edge]bool, len(g.waits))
+	var edges []Edge
+	for _, e := range g.waits {
+		for _, t := range e.targets {
+			ed := Edge{Waiter: e.root, Target: t}
+			if !seen[ed] {
+				seen[ed] = true
+				edges = append(edges, ed)
+			}
+		}
+	}
+	return edges
+}
+
+// Victimize condemns root: the next periodic recheck of any waiter
+// belonging to root observes the sentence (ConsumeVictim) and aborts
+// with a deadlock error, exactly as if its own cycle check had fired.
+// Used by the distributed detector, whose cycles span nodes and are
+// invisible to any single graph.
+func (g *Graph) Victimize(root uint64) {
+	g.mu.Lock()
+	g.victims[root] = true
+	g.mu.Unlock()
+}
+
+// ConsumeVictim reports whether root was condemned by Victimize and
+// clears the sentence. At most one waiter consumes it — the one whose
+// recheck runs first — so a multi-waiter tree aborts exactly once.
+func (g *Graph) ConsumeVictim(root uint64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.victims[root] {
+		return false
+	}
+	delete(g.victims, root)
+	return true
 }
 
 // Add installs (or replaces) node's wait edges: node, belonging to

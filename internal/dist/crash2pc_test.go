@@ -1,0 +1,199 @@
+package dist_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"semcc/internal/core"
+	"semcc/internal/dist"
+	"semcc/internal/oid"
+	"semcc/internal/oodb"
+	"semcc/internal/val"
+	"semcc/internal/wal"
+)
+
+// errCrash is the sentinel the crash journal panics with; Node.Handle
+// absorbs the panic as a node crash.
+var errCrash = errors.New("dist: injected crash")
+
+// crashJournal records appends like a real synchronous log and
+// simulates a node crash by panicking once the limit-th record is
+// durable: the record IS in the log, and nothing after the Append
+// runs. limit 0 never crashes.
+type crashJournal struct {
+	limit int
+	recs  []core.JournalRecord
+}
+
+func (j *crashJournal) Append(r core.JournalRecord) {
+	j.recs = append(j.recs, r)
+	if j.limit > 0 && len(j.recs) == j.limit {
+		panic(errCrash)
+	}
+}
+
+func (j *crashJournal) asLog(t *testing.T) *wal.Log {
+	t.Helper()
+	l := wal.NewLog()
+	for _, r := range j.recs {
+		l.Append(r)
+	}
+	// Round-trip through the serialised form, as restart would.
+	recovered, err := wal.Unmarshal(l.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recovered
+}
+
+// sweepScenario runs two cross-node roots, each updating one atom per
+// node, so crash cuts land inside two separate two-phase commits.
+// Each root's outcome is reported; a root whose commit fails (node
+// crash before the decision) counts as aborted, one that returns nil
+// as committed. The scenario stops early once the cluster cannot make
+// progress (a node is down).
+type sweepOutcome struct {
+	gid       uint64
+	committed bool
+}
+
+func sweepScenario(c *dist.Cluster, a, b oid.OID) []sweepOutcome {
+	var outcomes []sweepOutcome
+	steps := []struct{ va, vb int64 }{{1, 2}, {10, 20}}
+	for _, s := range steps {
+		tx, err := c.Begin()
+		if err != nil {
+			return outcomes
+		}
+		if err := tx.Put(a, val.OfInt(s.va)); err != nil {
+			_ = tx.Abort()
+			outcomes = append(outcomes, sweepOutcome{tx.GID(), false})
+			continue
+		}
+		if err := tx.Put(b, val.OfInt(s.vb)); err != nil {
+			_ = tx.Abort()
+			outcomes = append(outcomes, sweepOutcome{tx.GID(), false})
+			continue
+		}
+		err = tx.Commit()
+		outcomes = append(outcomes, sweepOutcome{tx.GID(), err == nil})
+	}
+	return outcomes
+}
+
+// runSweepCut opens a fresh two-node cluster whose crashNode runs on a
+// journal that panics at the cut-th append, runs the scenario, then
+// recovers every node from its own journal and the coordinator's
+// decision log. It returns the cluster and whether the crash fired.
+func runSweepCut(t *testing.T, crashNode, cut int) (c *dist.Cluster, a, b oid.OID, crashed bool) {
+	t.Helper()
+	journals := []*crashJournal{{}, {}}
+	journals[crashNode].limit = cut
+	c = dist.OpenCluster(2, func(i int) oodb.Options {
+		return oodb.Options{Protocol: core.Semantic, Journal: journals[i]}
+	})
+	var err error
+	a, err = c.Node(0).DB().Store().NewAtomic(val.OfInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = c.Node(1).DB().Store().NewAtomic(val.OfInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outcomes := sweepScenario(c, a, b)
+	crashed = c.Node(crashNode).Down()
+
+	// The coordinator's view of each root must agree with its decision
+	// log: a root it reported committed has a logged decision, one it
+	// reported aborted has none.
+	for _, o := range outcomes {
+		if o.committed != c.DecisionLog().Committed(o.gid) {
+			t.Fatalf("node %d cut %d: root %d reported committed=%v but decision log says %v",
+				crashNode, cut, o.gid, o.committed, c.DecisionLog().Committed(o.gid))
+		}
+	}
+
+	// Restart every node from its own journal. The live node's journal
+	// ends in a consistent state too (the coordinator aborted or
+	// decided every branch it could reach), so recovery is a no-op
+	// there; the crashed node's in-doubt and in-flight branches resolve
+	// against the decision log.
+	for i := 0; i < 2; i++ {
+		if _, err := c.RecoverNode(i, oodb.Options{Protocol: core.Semantic}, journals[i].asLog(t)); err != nil {
+			t.Fatalf("node %d cut %d: recover node %d: %v", crashNode, cut, i, err)
+		}
+	}
+	return c, a, b, crashed
+}
+
+// totalAppends dry-runs the scenario and returns each node's journal
+// record count.
+func totalAppends(t *testing.T) [2]int {
+	t.Helper()
+	journals := []*crashJournal{{}, {}}
+	c := dist.OpenCluster(2, func(i int) oodb.Options {
+		return oodb.Options{Protocol: core.Semantic, Journal: journals[i]}
+	})
+	defer c.Close()
+	a, err := c.Node(0).DB().Store().NewAtomic(val.OfInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Node(1).DB().Store().NewAtomic(val.OfInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes := sweepScenario(c, a, b)
+	for _, o := range outcomes {
+		if !o.committed {
+			t.Fatalf("dry run: root %d did not commit", o.gid)
+		}
+	}
+	return [2]int{len(journals[0].recs), len(journals[1].recs)}
+}
+
+// TestTwoPhaseCommitCrashSweep kills one node at every journal-record
+// boundary of a two-root cross-node scenario — which covers every
+// prepare and decide boundary on each node — and asserts that after
+// recovery every root is all-or-nothing across the cluster: both atoms
+// reflect the same prefix of committed roots, the prefix the decision
+// log defines. In-doubt branches (prepared, undecided locally) must
+// land exactly where the coordinator's decision log says.
+func TestTwoPhaseCommitCrashSweep(t *testing.T) {
+	totals := totalAppends(t)
+	for crashNode := 0; crashNode < 2; crashNode++ {
+		for cut := 1; cut <= totals[crashNode]; cut++ {
+			t.Run(fmt.Sprintf("node%d/cut%d", crashNode, cut), func(t *testing.T) {
+				c, a, b, crashed := runSweepCut(t, crashNode, cut)
+				defer c.Close()
+				if !crashed && cut < totals[crashNode] {
+					t.Fatalf("crash point %d never reached", cut)
+				}
+
+				// Expected state: apply committed roots in gid order.
+				wantA, wantB := int64(0), int64(0)
+				if c.DecisionLog().Committed(1) {
+					wantA, wantB = 1, 2
+				}
+				if c.DecisionLog().Committed(2) {
+					wantA, wantB = 10, 20
+				}
+				gotA, err := c.OwnerDB(a).ReadAtom(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotB, err := c.OwnerDB(b).ReadAtom(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotA.Int() != wantA || gotB.Int() != wantB {
+					t.Errorf("recovered state (a=%d, b=%d) diverges from decision log (want a=%d, b=%d)",
+						gotA.Int(), gotB.Int(), wantA, wantB)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"sort"
+	"time"
+)
+
+// Cross-node deadlock detection. Each node's lock manager already
+// detects cycles among its own branches; a cycle that crosses nodes —
+// T1 blocked on node A waiting for T2, T2 blocked on node B waiting
+// for T1 — is invisible to every local graph. The coordinator pulls
+// each node's waits-for edges through the transport (OpEdges, mapped
+// into global transaction id space), merges them, and condemns one
+// victim per cross-node cycle via OpVictim. The condemned branch's
+// blocked waiter observes the sentence on its next periodic recheck
+// and returns ErrDeadlock exactly as for a local cycle, so retry
+// loops need no new error path.
+
+// gedge is one merged edge, tagged with the node that reported it —
+// the node where the waiter is blocked, and therefore the node that
+// must deliver a victimisation.
+type gedge struct {
+	waiter, target uint64
+	node           int
+}
+
+// CheckDeadlocks runs one detection pass and returns the number of
+// victims condemned. The victim of a cycle is its youngest member
+// (highest global transaction id), so detection is deterministic for
+// a given edge set; single-node cycles are skipped — the local
+// detector owns them and will have fired long before this pass.
+func (c *Cluster) CheckDeadlocks() int {
+	var edges []gedge
+	for i := range c.nodes {
+		resp := c.tr.Send(i, Request{Op: OpEdges})
+		if resp.Err != nil {
+			continue // down node: its branches are not waiting
+		}
+		for _, e := range resp.Edges {
+			edges = append(edges, gedge{waiter: e.Waiter, target: e.Target, node: i})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].waiter != edges[b].waiter {
+			return edges[a].waiter < edges[b].waiter
+		}
+		if edges[a].target != edges[b].target {
+			return edges[a].target < edges[b].target
+		}
+		return edges[a].node < edges[b].node
+	})
+
+	victims := 0
+	for {
+		cycle := findCycle(edges)
+		if cycle == nil {
+			break
+		}
+		nodes := make(map[int]bool)
+		var victim uint64
+		for _, e := range cycle {
+			nodes[e.node] = true
+			if e.waiter > victim {
+				victim = e.waiter
+			}
+		}
+		if len(nodes) >= 2 {
+			// Deliver the sentence to the node where the victim is
+			// blocked (its waiter edge's reporter).
+			for _, e := range cycle {
+				if e.waiter == victim {
+					c.tr.Send(e.node, Request{Op: OpVictim, GID: victim})
+					victims++
+					break
+				}
+			}
+		}
+		// Either way, drop the victim's edges from the working set and
+		// look for further cycles: condemned waiters stop waiting, and
+		// single-node cycles are the local detector's to break.
+		kept := edges[:0]
+		for _, e := range edges {
+			if e.waiter != victim {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+	return victims
+}
+
+// findCycle returns the edges of one cycle in the merged graph, or nil
+// when the graph is acyclic. Deterministic for a sorted edge list.
+func findCycle(edges []gedge) []gedge {
+	adj := make(map[uint64][]gedge)
+	var starts []uint64
+	for _, e := range edges {
+		if len(adj[e.waiter]) == 0 {
+			starts = append(starts, e.waiter)
+		}
+		adj[e.waiter] = append(adj[e.waiter], e)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	state := make(map[uint64]int) // 0 unvisited, 1 on path, 2 done
+	var path []gedge
+	var dfs func(g uint64) []gedge
+	dfs = func(g uint64) []gedge {
+		state[g] = 1
+		for _, e := range adj[g] {
+			path = append(path, e)
+			if state[e.target] == 1 {
+				// Back edge: the cycle is the path suffix starting at
+				// the target's outgoing edge.
+				for i, pe := range path {
+					if pe.waiter == e.target {
+						return path[i:]
+					}
+				}
+				return path
+			}
+			if state[e.target] == 0 {
+				if cyc := dfs(e.target); cyc != nil {
+					return cyc
+				}
+			}
+			path = path[:len(path)-1]
+		}
+		state[g] = 2
+		return nil
+	}
+	for _, s := range starts {
+		if state[s] == 0 {
+			path = path[:0]
+			if cyc := dfs(s); cyc != nil {
+				return cyc
+			}
+		}
+	}
+	return nil
+}
+
+// StartDetector runs CheckDeadlocks every interval until the returned
+// stop function is called. Workload and chaos runs use it; tests that
+// need a deterministic pass call CheckDeadlocks directly.
+func (c *Cluster) StartDetector(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				c.CheckDeadlocks()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

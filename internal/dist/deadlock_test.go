@@ -1,0 +1,115 @@
+package dist_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"semcc/internal/core"
+	"semcc/internal/dist"
+	"semcc/internal/oodb"
+	"semcc/internal/val"
+)
+
+// TestCrossNodeDeadlockExactlyOneVictim builds the cycle no single
+// node can see: T1 holds a on node 0 and blocks on b on node 1, T2
+// holds b on node 1 and blocks on a on node 0. Each node's waits-for
+// graph has one edge and no cycle; the merged graph has one. The
+// detector must condemn exactly one victim, and deterministically the
+// youngest root (highest global transaction id) — T2.
+func TestCrossNodeDeadlockExactlyOneVictim(t *testing.T) {
+	c := dist.OpenCluster(2, func(int) oodb.Options {
+		return oodb.Options{Protocol: core.Semantic}
+	})
+	defer c.Close()
+
+	a, err := c.Node(0).DB().Store().NewAtomic(val.OfInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Node(1).DB().Store().NewAtomic(val.OfInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t1, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.GID() <= t1.GID() {
+		t.Fatalf("gids not monotone: %d then %d", t1.GID(), t2.GID())
+	}
+
+	if err := t1.Put(a, val.OfInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Put(b, val.OfInt(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	err1 := make(chan error, 1)
+	err2 := make(chan error, 1)
+	go func() { err1 <- t1.Put(b, val.OfInt(3)) }()
+	go func() { err2 <- t2.Put(a, val.OfInt(4)) }()
+
+	// Wait until both waiters have installed their edges, then run one
+	// synchronous detection pass.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		e0 := len(c.Node(0).DB().Engine().WaitEdges())
+		e1 := len(c.Node(1).DB().Engine().WaitEdges())
+		if e0 >= 1 && e1 >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never blocked: %d edges on node 0, %d on node 1", e0, e1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.CheckDeadlocks(); got != 1 {
+		t.Fatalf("CheckDeadlocks condemned %d victims, want exactly 1", got)
+	}
+
+	// The victim — deterministically T2 — aborts with ErrDeadlock …
+	select {
+	case err := <-err2:
+		if !errors.Is(err, core.ErrDeadlock) {
+			t.Fatalf("victim's operation returned %v, want ErrDeadlock", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("victim's blocked operation never returned")
+	}
+	if err := t2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// … and the survivor's wait is granted by the abort's lock release.
+	select {
+	case err := <-err1:
+		if err != nil {
+			t.Fatalf("survivor's operation returned %v, want success", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("survivor still blocked after the victim aborted")
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second pass over the now-quiescent cluster finds nothing.
+	if got := c.CheckDeadlocks(); got != 0 {
+		t.Errorf("quiescent cluster reports %d victims", got)
+	}
+
+	v, err := c.OwnerDB(b).ReadAtom(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 3 {
+		t.Errorf("b = %d, want the survivor's 3", v.Int())
+	}
+}

@@ -1,0 +1,349 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"semcc/internal/compat"
+	"semcc/internal/objstore"
+	"semcc/internal/oid"
+	"semcc/internal/oodb"
+	"semcc/internal/val"
+	"semcc/internal/wal"
+)
+
+// DecisionLog is the coordinator's durable record of two-phase-commit
+// outcomes under presumed abort: only commit decisions are logged, and
+// logging the decision IS the commit point. A recovering participant
+// whose journal ends in JPrepare asks the log; no entry means abort.
+//
+// In the in-process topology the log is a map — the coordinator does
+// not crash in our failure model, only nodes do. A real deployment
+// would force each entry to the coordinator's own disk first.
+type DecisionLog struct {
+	mu        sync.Mutex
+	committed map[uint64]bool
+}
+
+// NewDecisionLog returns an empty decision log.
+func NewDecisionLog() *DecisionLog {
+	return &DecisionLog{committed: make(map[uint64]bool)}
+}
+
+// Commit durably records the commit decision for a global transaction.
+func (d *DecisionLog) Commit(gid uint64) {
+	d.mu.Lock()
+	d.committed[gid] = true
+	d.mu.Unlock()
+}
+
+// Committed reports whether a commit decision was logged for gid. The
+// signature matches wal.RecoverDecided's resolver.
+func (d *DecisionLog) Committed(gid uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.committed[gid]
+}
+
+// Cluster is N engine nodes behind a transport, plus the coordinator
+// state: the global transaction id allocator and the decision log.
+type Cluster struct {
+	nodes []*Node
+	tr    Transport
+	gids  atomic.Uint64
+	dlog  *DecisionLog
+}
+
+// New wires the given databases into a cluster over the in-process
+// channel transport. The databases must have been opened with
+// OIDStride = len(dbs) and OIDOffset = their node index, so that
+// ownership is derivable from the OID alone (see OpenCluster).
+func New(dbs []*oodb.DB) *Cluster {
+	nodes := make([]*Node, len(dbs))
+	for i, db := range dbs {
+		nodes[i] = NewNode(i, db)
+	}
+	c := &Cluster{nodes: nodes, dlog: NewDecisionLog()}
+	c.tr = newChanTransport(nodes)
+	return c
+}
+
+// OpenCluster opens n databases with interleaved OID allocation —
+// node i allocates exactly the OIDs it owns — and wires them into a
+// cluster. opts(i) supplies node i's options (journal, protocol,
+// ablation knobs); the OIDStride/OIDOffset fields are overwritten with
+// the topology's values. A nil opts gives every node default options.
+func OpenCluster(n int, opts func(i int) oodb.Options) *Cluster {
+	dbs := make([]*oodb.DB, n)
+	for i := range dbs {
+		var o oodb.Options
+		if opts != nil {
+			o = opts(i)
+		}
+		o.OIDStride, o.OIDOffset = n, i
+		dbs[i] = oodb.Open(o)
+	}
+	return New(dbs)
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Node returns node i (tests, the chaos driver, and recovery wiring).
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// DecisionLog exposes the coordinator's decision log (recovery and the
+// crash sweeps resolve in-doubt roots against it).
+func (c *Cluster) DecisionLog() *DecisionLog { return c.dlog }
+
+// Owner maps an OID to the index of the node that owns it. Ownership
+// is total and derivable from the OID alone: node i's store allocates
+// exactly the OIDs N with (N-1) mod nodes == i.
+func (c *Cluster) Owner(obj oid.OID) int {
+	return int((obj.N - 1) % uint64(len(c.nodes)))
+}
+
+// OwnerDB returns the database owning obj — the routed replacement for
+// single-node navigation helpers (Component, population reads).
+func (c *Cluster) OwnerDB(obj oid.OID) *oodb.DB {
+	return c.nodes[c.Owner(obj)].DB()
+}
+
+// Close shuts the transport down. Stop the deadlock detector and all
+// client goroutines first.
+func (c *Cluster) Close() { c.tr.Close() }
+
+// Tx is a coordinator transaction: one global transaction spanning a
+// branch (a local top-level transaction) on every node. Like
+// *oodb.Tx, a Tx must be driven from a single goroutine.
+//
+// Branches are created eagerly on Begin rather than on first touch:
+// the branch's JBeginRoot then lands in each node's journal at the
+// same point it would in the single-engine path, which is what makes
+// the one-node cluster's journal byte-identical to the direct path —
+// the ablation baseline the topology is measured against.
+type Tx struct {
+	c      *Cluster
+	gid    uint64
+	begun  []bool
+	worked []bool // node executed at least one operation
+	done   bool
+}
+
+// Begin starts a global transaction with a branch on every node. If
+// any node is down, branches already begun are aborted and the begin
+// fails.
+func (c *Cluster) Begin() (*Tx, error) {
+	t := &Tx{
+		c:      c,
+		gid:    c.gids.Add(1),
+		begun:  make([]bool, len(c.nodes)),
+		worked: make([]bool, len(c.nodes)),
+	}
+	for i := range c.nodes {
+		resp := c.tr.Send(i, Request{Op: OpBegin, GID: t.gid})
+		if resp.Err != nil {
+			for j := 0; j < i; j++ {
+				c.tr.Send(j, Request{Op: OpAbort, GID: t.gid})
+			}
+			t.done = true
+			return nil, fmt.Errorf("dist: begin on node %d: %w", i, resp.Err)
+		}
+		t.begun[i] = true
+	}
+	return t, nil
+}
+
+// GID returns the coordinator-assigned global transaction id.
+func (t *Tx) GID() uint64 { return t.gid }
+
+// invoke routes one invocation to the owner of its receiver.
+func (t *Tx) invoke(inv compat.Invocation) (val.V, error) {
+	n := t.c.Owner(inv.Object)
+	t.worked[n] = true
+	resp := t.c.tr.Send(n, Request{Op: OpInvoke, GID: t.gid, Inv: inv})
+	return resp.Val, resp.Err
+}
+
+// Call invokes a method on an encapsulated object (routed to the
+// object's node).
+func (t *Tx) Call(obj oid.OID, method string, args ...val.V) (val.V, error) {
+	return t.invoke(compat.Inv(obj, method, args...))
+}
+
+// Get reads an atomic object directly (bypass).
+func (t *Tx) Get(obj oid.OID) (val.V, error) {
+	return t.invoke(compat.Inv(obj, compat.OpGet))
+}
+
+// Put writes an atomic object directly (bypass).
+func (t *Tx) Put(obj oid.OID, v val.V) error {
+	_, err := t.invoke(compat.Inv(obj, compat.OpPut, v))
+	return err
+}
+
+// Add atomically adds delta to an atomic integer (bypass).
+func (t *Tx) Add(obj oid.OID, delta int64) (val.V, error) {
+	return t.invoke(compat.Inv(obj, compat.OpAdd, val.OfInt(delta)))
+}
+
+// Select looks up a set member by key (bypass).
+func (t *Tx) Select(set oid.OID, key val.V) (oid.OID, bool, error) {
+	r, err := t.invoke(compat.Inv(set, compat.OpSelect, key))
+	if err != nil {
+		return oid.Nil, false, err
+	}
+	if r.IsNull() {
+		return oid.Nil, false, nil
+	}
+	return r.Ref(), true, nil
+}
+
+// Insert adds a member to a set (bypass). The member need not live on
+// the set's node: sets hold OIDs, and OIDs address the whole cluster.
+func (t *Tx) Insert(set oid.OID, key val.V, member oid.OID) error {
+	_, err := t.invoke(compat.Inv(set, compat.OpInsert, key, val.OfRef(member)))
+	return err
+}
+
+// Remove deletes a member from a set (bypass).
+func (t *Tx) Remove(set oid.OID, key val.V) error {
+	_, err := t.invoke(compat.Inv(set, compat.OpRemove, key))
+	return err
+}
+
+// Scan enumerates a set (bypass).
+func (t *Tx) Scan(set oid.OID) ([]objstore.SetEntry, error) {
+	n := t.c.Owner(set)
+	t.worked[n] = true
+	resp := t.c.tr.Send(n, Request{Op: OpScan, GID: t.gid, Inv: compat.Inv(set, compat.OpScan)})
+	return resp.Entries, resp.Err
+}
+
+// Exec runs an arbitrary invocation (routed).
+func (t *Tx) Exec(inv compat.Invocation) (val.V, error) { return t.invoke(inv) }
+
+// Commit commits the global transaction. Roots whose work touched at
+// most one node commit that node's branch directly — no prepare, no
+// decision record, a journal indistinguishable from the single-engine
+// path. Roots spanning two or more working nodes run two-phase commit
+// with presumed abort: prepare every working branch (forcing JPrepare
+// durable), log the commit decision (the commit point), then decide
+// commit everywhere. A prepare failure — including a node crash —
+// decides abort. A node crash after the decision is logged does not
+// revoke the commit: the crashed branch recovers as in-doubt and
+// resolves to commit against the decision log.
+func (t *Tx) Commit() error {
+	if t.done {
+		return fmt.Errorf("dist: commit of finished global tx %d", t.gid)
+	}
+	t.done = true
+
+	var workful []int
+	for i, w := range t.worked {
+		if w {
+			workful = append(workful, i)
+		}
+	}
+
+	if len(workful) <= 1 {
+		var firstErr error
+		for i := range t.begun {
+			if !t.begun[i] {
+				continue
+			}
+			resp := t.c.tr.Send(i, Request{Op: OpCommit, GID: t.gid})
+			if resp.Err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("dist: commit on node %d: %w", i, resp.Err)
+			}
+		}
+		return firstErr
+	}
+
+	// Phase 1: prepare every working branch, in node-index order.
+	for k, i := range workful {
+		resp := t.c.tr.Send(i, Request{Op: OpPrepare, GID: t.gid})
+		if resp.Err != nil {
+			// Decide abort: prepared branches get the decision record
+			// (they promised not to abort unilaterally), the failed and
+			// unprepared ones roll back plainly. Presumed abort logs
+			// nothing.
+			for _, j := range workful[:k] {
+				t.c.tr.Send(j, Request{Op: OpDecide, GID: t.gid, Commit: false})
+			}
+			for _, j := range workful[k:] {
+				t.c.tr.Send(j, Request{Op: OpAbort, GID: t.gid})
+			}
+			t.finishEmpties(workful)
+			return fmt.Errorf("dist: prepare on node %d: %w", i, resp.Err)
+		}
+	}
+
+	// Commit point: the decision outlives any node crash.
+	t.c.dlog.Commit(t.gid)
+
+	// Phase 2: apply the decision. Errors here (a node dying between
+	// prepare and decide) do not change the outcome — the in-doubt
+	// branch resolves to commit at recovery.
+	for _, i := range workful {
+		t.c.tr.Send(i, Request{Op: OpDecide, GID: t.gid, Commit: true})
+	}
+	t.finishEmpties(workful)
+	return nil
+}
+
+// finishEmpties commits the branches that did no work (their commit
+// releases nothing and journals only the root outcome).
+func (t *Tx) finishEmpties(workful []int) {
+	isWorkful := make(map[int]bool, len(workful))
+	for _, i := range workful {
+		isWorkful[i] = true
+	}
+	for i := range t.begun {
+		if t.begun[i] && !isWorkful[i] {
+			t.c.tr.Send(i, Request{Op: OpCommit, GID: t.gid})
+		}
+	}
+}
+
+// Abort rolls the global transaction back on every node. A down node
+// is fine: its branch resolves at recovery (presumed abort — no
+// decision was logged).
+func (t *Tx) Abort() error {
+	if t.done {
+		return fmt.Errorf("dist: abort of finished global tx %d", t.gid)
+	}
+	t.done = true
+	var firstErr error
+	for i := range t.begun {
+		if !t.begun[i] {
+			continue
+		}
+		resp := t.c.tr.Send(i, Request{Op: OpAbort, GID: t.gid})
+		if resp.Err != nil && firstErr == nil && !errors.Is(resp.Err, ErrNodeDown) {
+			firstErr = fmt.Errorf("dist: abort on node %d: %w", i, resp.Err)
+		}
+	}
+	return firstErr
+}
+
+// RecoverNode restarts a crashed node: reopen the database over the
+// surviving store, then resolve its journal with the coordinator's
+// decision log — winners stay, losers are compensated, and in-doubt
+// roots (prepared, undecided in the node's own journal) commit exactly
+// when the coordinator logged a commit decision, abort otherwise
+// (presumed abort). The recovered DB is installed into the node, which
+// comes back up.
+func (c *Cluster) RecoverNode(i int, opts oodb.Options, records wal.RecordSource) (*wal.Analysis, error) {
+	n := c.nodes[i]
+	opts.OIDStride, opts.OIDOffset = len(c.nodes), i
+	db := oodb.Reopen(n.DB(), opts)
+	a, err := wal.RecoverDecided(db, records, c.dlog.Committed)
+	if err != nil {
+		return nil, fmt.Errorf("dist: recover node %d: %w", i, err)
+	}
+	n.Revive(db)
+	return a, nil
+}

@@ -1,0 +1,298 @@
+package dist_test
+
+import (
+	"testing"
+
+	"semcc/internal/core"
+	"semcc/internal/dist"
+	"semcc/internal/oid"
+	"semcc/internal/oodb"
+	"semcc/internal/val"
+	"semcc/internal/wal"
+)
+
+// twoNodeCluster opens a two-node cluster with a synchronous log per
+// node and one atom on each node, initialised to 0.
+func twoNodeCluster(t *testing.T) (c *dist.Cluster, logs []*wal.Log, a, b oid.OID) {
+	t.Helper()
+	logs = []*wal.Log{wal.NewLog(), wal.NewLog()}
+	c = dist.OpenCluster(2, func(i int) oodb.Options {
+		return oodb.Options{Protocol: core.Semantic, Journal: logs[i]}
+	})
+	var err error
+	a, err = c.Node(0).DB().Store().NewAtomic(val.OfInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = c.Node(1).DB().Store().NewAtomic(val.OfInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Owner(a); got != 0 {
+		t.Fatalf("atom allocated on node 0 owned by node %d", got)
+	}
+	if got := c.Owner(b); got != 1 {
+		t.Fatalf("atom allocated on node 1 owned by node %d", got)
+	}
+	return c, logs, a, b
+}
+
+// TestOpenClusterNilOpts: nil opts means default options on every
+// node — the facade documents the callback as optional configuration.
+func TestOpenClusterNilOpts(t *testing.T) {
+	c := dist.OpenCluster(2, nil)
+	defer c.Close()
+	a, err := c.Node(1).DB().Store().NewAtomic(val.OfInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Add(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAtom(t, c, a); got != 8 {
+		t.Fatalf("atom = %d, want 8", got)
+	}
+}
+
+func readAtom(t *testing.T, c *dist.Cluster, obj oid.OID) int64 {
+	t.Helper()
+	v, err := c.OwnerDB(obj).ReadAtom(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Int()
+}
+
+func countKind(l *wal.Log, k core.JournalKind) int {
+	n := 0
+	for _, r := range l.Records() {
+		if r.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCrossNodeCommit: a root spanning both nodes commits via 2PC —
+// both effects apply, and each node's journal carries the prepare and
+// decide records tagged with the global transaction id.
+func TestCrossNodeCommit(t *testing.T) {
+	c, logs, a, b := twoNodeCluster(t)
+	defer c.Close()
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put(a, val.OfInt(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put(b, val.OfInt(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := readAtom(t, c, a); got != 7 {
+		t.Errorf("a = %d, want 7", got)
+	}
+	if got := readAtom(t, c, b); got != 8 {
+		t.Errorf("b = %d, want 8", got)
+	}
+	if !c.DecisionLog().Committed(tx.GID()) {
+		t.Error("decision log has no commit entry for the root")
+	}
+	for i, l := range logs {
+		if n := countKind(l, core.JPrepare); n != 1 {
+			t.Errorf("node %d journal has %d JPrepare records, want 1", i, n)
+		}
+		if n := countKind(l, core.JDecide); n != 1 {
+			t.Errorf("node %d journal has %d JDecide records, want 1", i, n)
+		}
+		for _, r := range l.Records() {
+			if (r.Kind == core.JPrepare || r.Kind == core.JDecide) && r.Parent != tx.GID() {
+				t.Errorf("node %d: 2PC record carries gid %d, want %d", i, r.Parent, tx.GID())
+			}
+		}
+	}
+}
+
+// TestCrossNodeAbort: a root spanning both nodes aborts — compensation
+// runs on each node and no 2PC records are journaled (presumed abort:
+// a voluntary abort never prepares).
+func TestCrossNodeAbort(t *testing.T) {
+	c, logs, a, b := twoNodeCluster(t)
+	defer c.Close()
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put(a, val.OfInt(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Add(b, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := readAtom(t, c, a); got != 0 {
+		t.Errorf("a = %d after abort, want 0", got)
+	}
+	if got := readAtom(t, c, b); got != 0 {
+		t.Errorf("b = %d after abort, want 0", got)
+	}
+	for i, l := range logs {
+		if n := countKind(l, core.JPrepare) + countKind(l, core.JDecide); n != 0 {
+			t.Errorf("node %d journal has %d 2PC records after voluntary abort, want 0", i, n)
+		}
+	}
+}
+
+// TestSingleParticipantCommitSkips2PC: a root whose work touches one
+// node commits that branch directly — its journal is indistinguishable
+// from the single-engine path (no prepare, no decide), which is the
+// load-bearing half of the -nodes=1 ablation baseline.
+func TestSingleParticipantCommitSkips2PC(t *testing.T) {
+	c, logs, a, _ := twoNodeCluster(t)
+	defer c.Close()
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put(a, val.OfInt(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := readAtom(t, c, a); got != 3 {
+		t.Errorf("a = %d, want 3", got)
+	}
+	for i, l := range logs {
+		if n := countKind(l, core.JPrepare) + countKind(l, core.JDecide); n != 0 {
+			t.Errorf("node %d journal has %d 2PC records for a single-participant root, want 0", i, n)
+		}
+	}
+	// The idle node still opened and closed an empty branch.
+	if n := countKind(logs[1], core.JBeginRoot); n != 1 {
+		t.Errorf("idle node journals %d begin records, want 1", n)
+	}
+	if n := countKind(logs[1], core.JRootCommit); n != 1 {
+		t.Errorf("idle node journals %d commit records, want 1", n)
+	}
+}
+
+// TestCrossNodeSets: set operations route by the set's owner, and a
+// set may hold members living on other nodes — OIDs address the whole
+// cluster.
+func TestCrossNodeSets(t *testing.T) {
+	c, _, _, b := twoNodeCluster(t)
+	defer c.Close()
+
+	set, err := c.Node(0).DB().Store().NewSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Member b lives on node 1, the set on node 0.
+	if err := tx.Insert(set, val.OfInt(1), b); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := tx.Select(set, val.OfInt(1))
+	if err != nil || !ok || m != b {
+		t.Fatalf("Select = (%v, %v, %v), want (%v, true, nil)", m, ok, err, b)
+	}
+	entries, err := tx.Scan(set)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("Scan = (%v, %v), want 1 entry", entries, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Remove(set, val.OfInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// Compensation reinserted the member.
+	tx3, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err = tx3.Select(set, val.OfInt(1))
+	if err != nil || !ok {
+		t.Fatalf("member missing after aborted Remove: ok=%v err=%v", ok, err)
+	}
+	if err := tx3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKilledNodeAnswersDown: requests to a killed node fail with
+// ErrNodeDown, new global transactions cannot begin, and a revived
+// node serves again.
+func TestKilledNodeAnswersDown(t *testing.T) {
+	c, logs, a, b := twoNodeCluster(t)
+	defer c.Close()
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put(a, val.OfInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	c.Node(1).Kill()
+	if err := tx.Put(b, val.OfInt(2)); err == nil {
+		t.Fatal("Put on killed node succeeded")
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatalf("abort with a down participant: %v", err)
+	}
+	if _, err := c.Begin(); err == nil {
+		t.Fatal("Begin succeeded with a node down")
+	}
+
+	// Revive over a reopened DB recovered from the node's own journal:
+	// the abandoned branch never prepared, so it resolves as an
+	// ordinary (empty) loser.
+	if _, err := c.RecoverNode(1, oodb.Options{Protocol: core.Semantic}, logs[1]); err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Put(b, val.OfInt(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAtom(t, c, b); got != 9 {
+		t.Errorf("b = %d after revive, want 9", got)
+	}
+}

@@ -53,6 +53,15 @@ var compatMode = compat.CompatStatic
 // runs.
 func SetCompat(m compat.Mode) { compatMode = m }
 
+// distNodes is the topology every experiment point runs on;
+// semcc-bench's -nodes flag overrides it (0 = one engine direct, N ≥ 1
+// = an N-node cluster behind the 2PC coordinator). E9 owns the axis
+// and pins it per point.
+var distNodes = 0
+
+// SetNodes selects the node count for subsequent experiment runs.
+func SetNodes(n int) { distNodes = n }
+
 // sharedObs, when set, is attached to every experiment point's
 // database (semcc-bench's -serve mode: one live endpoint whose
 // metrics accumulate across points). When unset, each point gets its
@@ -77,7 +86,26 @@ func runPoint(cfg workload.Config) (workload.Metrics, error) {
 		cfg.Obs = obs.New(obs.Config{})
 		cfg.Obs.SetEnabled(true)
 	}
-	if cfg.Journal == nil && walCfg != nil {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = distNodes
+	}
+	if cfg.Nodes >= 1 {
+		// Cluster topology: each node needs its own journal; a -wal
+		// selection fans out to one journal per node.
+		if cfg.NodeJournal == nil && walCfg != nil {
+			var journals []wal.Journal
+			cfg.NodeJournal = func(int) core.Journal {
+				j := wal.New(*walCfg)
+				journals = append(journals, j)
+				return j
+			}
+			defer func() {
+				for _, j := range journals {
+					j.Close()
+				}
+			}()
+		}
+	} else if cfg.Journal == nil && walCfg != nil {
 		j := wal.New(*walCfg)
 		defer j.Close()
 		cfg.Journal = j

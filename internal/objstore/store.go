@@ -91,6 +91,15 @@ type Config struct {
 	// enabled), plus the buffer pool's counters (attached here because
 	// the store owns its pool).
 	Obs *obs.Obs
+	// OIDStride and OIDOffset interleave this store's OID sequence with
+	// other stores': the store allocates only sequence numbers
+	// N ≡ OIDOffset+1 (mod OIDStride), so in a multi-node topology node
+	// ownership is derivable from the OID alone — owner(id) =
+	// (id.N-1) mod OIDStride. Zero values (stride 1, offset 0) allocate
+	// the dense sequence 1, 2, 3, … and reproduce the single-store
+	// layout byte-for-byte.
+	OIDStride int
+	OIDOffset int
 }
 
 // Store operation indices for the per-shard op counters.
@@ -147,6 +156,11 @@ type Store struct {
 	shards []shard
 	mask   uint64
 	om     *storeObs
+	// stride/offset interleave this store's OID sequence across a
+	// multi-node topology (Config.OIDStride/OIDOffset); stride 1,
+	// offset 0 is the dense single-store sequence.
+	stride uint64
+	offset uint64
 	// rr round-robins object creation over shards; under sequential
 	// creation the allocated OID sequence is identical to the old
 	// global generator's (1, 2, 3, …).
@@ -172,11 +186,17 @@ func NewStore(cfg Config) *Store {
 		n = runtime.GOMAXPROCS(0) * 4
 	}
 	n = ceilPow2(n)
+	stride := cfg.OIDStride
+	if stride <= 0 {
+		stride = 1
+	}
 	pool := storage.NewBufferPool(cfg.PoolKind, storage.NewMemDisk(), cfg.PoolFrames, cfg.PoolPartitions)
 	s := &Store{
 		pool:   pool,
 		shards: make([]shard, n),
 		mask:   uint64(n - 1),
+		stride: uint64(stride),
+		offset: uint64(cfg.OIDOffset),
 	}
 	s.AttachObs(cfg.Obs)
 	for i := range s.shards {
@@ -207,20 +227,34 @@ func (s *Store) AttachObs(o *obs.Obs) {
 // PoolStats reports the shared buffer pool's hit/miss/evict counters.
 func (s *Store) PoolStats() (hits, misses, evicts uint64) { return s.pool.Stats() }
 
+// localIdx maps id to this store's shard index. The store's own local
+// 0-based allocation position is (id.N-1-offset)/stride; masking it
+// picks the shard. A foreign OID (one outside this store's stride
+// residue) still maps to *some* shard — its directory lookup simply
+// misses, which is the desired "no such object" behaviour.
+func (s *Store) localIdx(id oid.OID) uint64 {
+	return ((id.N - 1 - s.offset) / s.stride) & s.mask
+}
+
 // shardOf returns the shard owning id. OIDs are allocated in strides
-// of len(shards): shard i hands out sequence numbers ≡ i+1 (mod
-// shards), so ownership is derivable from the OID alone and every
+// of len(shards): shard i hands out local positions ≡ i (mod shards),
+// so ownership is derivable from the OID alone and every
 // single-object operation is single-shard.
 func (s *Store) shardOf(id oid.OID) *shard {
-	return &s.shards[(id.N-1)&s.mask]
+	return &s.shards[s.localIdx(id)]
 }
 
 // alloc picks the next creation shard round-robin and allocates a
-// fresh OID of the given kind from its stride.
+// fresh OID of the given kind from its stride. The store's dense local
+// position sequence (0, 1, 2, …) is spread over the global OID space
+// as n = pos*stride + offset + 1, so with stride 1 the sequence is the
+// classic 1, 2, 3, … and with stride N the store owns exactly the
+// residue class offset (mod N).
 func (s *Store) alloc(k oid.Kind) (*shard, oid.OID) {
 	i := (s.rr.Add(1) - 1) & s.mask
 	sh := &s.shards[i]
-	n := (sh.next.Add(1)-1)*uint64(len(s.shards)) + i + 1
+	pos := (sh.next.Add(1)-1)*uint64(len(s.shards)) + i
+	n := pos*s.stride + s.offset + 1
 	s.op(i, opAlloc)
 	return sh, oid.OID{K: k, N: n}
 }
@@ -243,7 +277,7 @@ func (s *Store) NewAtomic(initial val.V) (oid.OID, error) {
 
 // ReadAtomic returns the current value of atomic object id.
 func (s *Store) ReadAtomic(id oid.OID) (val.V, error) {
-	s.op((id.N-1)&s.mask, opRead)
+	s.op(s.localIdx(id), opRead)
 	sh := s.shardOf(id)
 	sh.mu.RLock()
 	a, ok := sh.atoms[id]
@@ -263,7 +297,7 @@ func (s *Store) ReadAtomic(id oid.OID) (val.V, error) {
 // store's RIDs are stable (forwarding stubs), so the object→page
 // mapping used by page-level locking never changes.
 func (s *Store) WriteAtomic(id oid.OID, v val.V) error {
-	s.op((id.N-1)&s.mask, opWrite)
+	s.op(s.localIdx(id), opWrite)
 	sh := s.shardOf(id)
 	sh.mu.RLock()
 	a, ok := sh.atoms[id]
@@ -282,7 +316,7 @@ func (s *Store) WriteAtomic(id oid.OID, v val.V) error {
 // leaf operation (Add/Add commutes at the lock level, so the engine
 // admits them concurrently and the store must make them atomic).
 func (s *Store) AddAtomic(id oid.OID, delta int64) (val.V, error) {
-	s.op((id.N-1)&s.mask, opWrite)
+	s.op(s.localIdx(id), opWrite)
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -379,7 +413,7 @@ func (s *Store) NewSet() (oid.OID, error) {
 // SetInsert adds member under key to set id. Inserting an existing key
 // fails.
 func (s *Store) SetInsert(id oid.OID, key val.V, member oid.OID) error {
-	s.op((id.N-1)&s.mask, opInsert)
+	s.op(s.localIdx(id), opInsert)
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -397,7 +431,7 @@ func (s *Store) SetInsert(id oid.OID, key val.V, member oid.OID) error {
 
 // SetRemove removes the member under key from set id.
 func (s *Store) SetRemove(id oid.OID, key val.V) error {
-	s.op((id.N-1)&s.mask, opRemove)
+	s.op(s.localIdx(id), opRemove)
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -416,7 +450,7 @@ func (s *Store) SetRemove(id oid.OID, key val.V) error {
 // SetSelect returns the member stored under key, if any. This is the
 // paper's generic Select operation (§2.2).
 func (s *Store) SetSelect(id oid.OID, key val.V) (oid.OID, bool, error) {
-	s.op((id.N-1)&s.mask, opSelect)
+	s.op(s.localIdx(id), opSelect)
 	sh := s.shardOf(id)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -436,7 +470,7 @@ func (s *Store) SetSelect(id oid.OID, key val.V) (oid.OID, bool, error) {
 // shard lock; the O(n log n) sort runs after it is released.
 func (s *Store) SetScan(id oid.OID) ([]SetEntry, error) {
 	if m := s.om; m.on() {
-		m.ops[int((id.N-1)&s.mask)*numStoreOps+opScan].Inc()
+		m.ops[int(s.localIdx(id))*numStoreOps+opScan].Inc()
 		start := time.Now()
 		entries, err := s.setScan(id)
 		m.scanNs.Observe(uint64(time.Since(start)))

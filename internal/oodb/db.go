@@ -65,6 +65,13 @@ type Options struct {
 	Compat compat.Mode
 	// Hooks passes test callbacks to the engine.
 	Hooks core.Hooks
+	// OIDStride and OIDOffset interleave this database's OID sequence
+	// with other nodes' in a multi-node topology (internal/dist): the
+	// store allocates only OIDs N with (N-1) mod OIDStride == OIDOffset,
+	// so object ownership is derivable from the OID alone. Zero values
+	// reproduce the dense single-node sequence.
+	OIDStride int
+	OIDOffset int
 	// Clock supplies the engine's wall-time measurements (span WAL
 	// timing, lock-wait attribution). Nil selects the real clock;
 	// deterministic harnesses (internal/chaos) inject clock.Fake.
@@ -96,6 +103,8 @@ func Open(opts Options) *DB {
 			PoolFrames: opts.PoolFrames,
 			PoolKind:   opts.PoolKind,
 			Obs:        o,
+			OIDStride:  opts.OIDStride,
+			OIDOffset:  opts.OIDOffset,
 		}),
 		reg:   newTypeRegistry(),
 		named: make(map[string]oid.OID),

@@ -1,0 +1,43 @@
+// Package ordercluster wires the order-entry application onto a
+// multi-node cluster: it populates every node with the slice of the
+// database that node owns and fronts the per-node apps with one App
+// whose transactions run through the two-phase-commit coordinator.
+//
+// It lives outside package orderentry so that orderentry itself never
+// depends on the dist/wal stack — engine packages (including wal's
+// in-package tests) use orderentry as their application fixture, and
+// pulling the coordinator into it would cycle their imports.
+package ordercluster
+
+import (
+	"semcc/internal/dist"
+	"semcc/internal/orderentry"
+)
+
+// Setup populates each node of the cluster with the items its OID
+// stride owns (node i holds the items with (n-1) mod nodes == i) and
+// returns a front App whose transactions are coordinator roots.
+func Setup(c *dist.Cluster, cfg orderentry.Config) (*orderentry.App, error) {
+	peers := make([]*orderentry.App, c.Nodes())
+	for i := range peers {
+		app, err := orderentry.SetupNode(c.Node(i).DB(), cfg, i, len(peers))
+		if err != nil {
+			return nil, err
+		}
+		peers[i] = app
+	}
+	return Front(c, peers), nil
+}
+
+// Front builds the cluster-facing App over already-populated per-node
+// apps: lookups route by ownership through the peers, and Begin opens
+// a root on the coordinator.
+func Front(c *dist.Cluster, peers []*orderentry.App) *orderentry.App {
+	return orderentry.NewClusterApp(peers, func() (orderentry.Session, error) {
+		tx, err := c.Begin()
+		if err != nil {
+			return nil, err
+		}
+		return tx, nil
+	})
+}

@@ -6,10 +6,25 @@ import (
 	"sync/atomic"
 
 	"semcc/internal/compat"
+	"semcc/internal/objstore"
 	"semcc/internal/oid"
 	"semcc/internal/oodb"
 	"semcc/internal/val"
 )
+
+// Session is the transactional surface the application code runs on:
+// the operations shared by the single-engine *oodb.Tx and the
+// multi-node coordinator transaction (internal/dist.Tx). Application
+// transactions written against Session run unchanged on either
+// topology.
+type Session interface {
+	Call(obj oid.OID, method string, args ...val.V) (val.V, error)
+	Get(obj oid.OID) (val.V, error)
+	Put(obj oid.OID, v val.V) error
+	Scan(set oid.OID) ([]objstore.SetEntry, error)
+	Commit() error
+	Abort() error
+}
 
 // Tuple component names.
 const (
@@ -59,6 +74,19 @@ type App struct {
 	// Items is the OID of the database's Items set.
 	Items oid.OID
 
+	// Peers, when set, makes this App the front of a multi-node
+	// deployment: Peers[i] is the App bound to node i's database
+	// (including this one, at its node index), item ItemNo lives on
+	// node (ItemNo−1) mod len(Peers), and object ownership follows
+	// the cluster's OID rule. Navigation helpers route through it.
+	// Empty Peers is the single-node layout.
+	Peers []*App
+	// BeginFn, when set, starts transactions (the multi-node front
+	// installs the coordinator's Begin here). Nil means DB.Begin,
+	// which cannot fail; a coordinator begin fails when a node is
+	// down.
+	BeginFn func() (Session, error)
+
 	orderSeq atomic.Int64
 
 	// HookShipMid, when set, is called inside ShipOrder's body after
@@ -73,6 +101,21 @@ type App struct {
 // set and cfg.Items items with cfg.OrdersPerItem orders each, and
 // binds the set under the name "Items".
 func Setup(db *oodb.DB, cfg Config) (*App, error) {
+	return SetupNode(db, cfg, 0, 1)
+}
+
+// SetupNode populates node `node` of an `nodes`-wide deployment: the
+// same schema everywhere, but only the items this node owns —
+// ItemNo ≡ node+1 (mod nodes) — with their orders. Pre-created order
+// numbers follow the closed formula (ItemNo−1)·OrdersPerItem + k + 1,
+// which for nodes == 1 reproduces Setup's sequential numbering
+// exactly; the fresh-order allocator starts past every pre-created
+// number on all nodes, so NewOrder stays unique per item without
+// cross-node coordination. SetupNode(db, cfg, 0, 1) IS Setup.
+func SetupNode(db *oodb.DB, cfg Config, node, nodes int) (*App, error) {
+	if nodes < 1 || node < 0 || node >= nodes {
+		return nil, fmt.Errorf("orderentry: invalid node %d of %d", node, nodes)
+	}
 	a := &App{DB: db}
 	itemType, err := oodb.NewType("Item", ItemMatrix(), a.itemMethods()...)
 	if err != nil {
@@ -98,6 +141,9 @@ func Setup(db *oodb.DB, cfg Config) (*App, error) {
 	db.Bind("Items", items)
 
 	for n := 1; n <= cfg.Items; n++ {
+		if (n-1)%nodes != node {
+			continue
+		}
 		item, err := a.createItem(int64(n), cfg.Price, cfg.InitialQOH)
 		if err != nil {
 			return nil, err
@@ -106,7 +152,7 @@ func Setup(db *oodb.DB, cfg Config) (*App, error) {
 			return nil, err
 		}
 		for k := 0; k < cfg.OrdersPerItem; k++ {
-			orderNo := a.orderSeq.Add(1)
+			orderNo := int64((n-1)*cfg.OrdersPerItem + k + 1)
 			order, err := a.createOrder(orderNo, 100+orderNo, cfg.OrderQuantity)
 			if err != nil {
 				return nil, err
@@ -120,7 +166,51 @@ func Setup(db *oodb.DB, cfg Config) (*App, error) {
 			}
 		}
 	}
+	a.orderSeq.Store(int64(cfg.Items * cfg.OrdersPerItem))
 	return a, nil
+}
+
+// NewClusterApp builds the multi-node front: peers[i] must be the App
+// SetupNode produced for node i, and begin the coordinator's session
+// constructor (internal/dist wires its Cluster.Begin here). The front
+// shares node 0's DB and Items for compatibility with code that never
+// leaves one node, but every navigation helper routes by ownership.
+func NewClusterApp(peers []*App, begin func() (Session, error)) *App {
+	front := &App{DB: peers[0].DB, Items: peers[0].Items, Peers: peers, BeginFn: begin}
+	front.orderSeq.Store(peers[0].orderSeq.Load())
+	return front
+}
+
+// Begin starts an application transaction on whatever topology the
+// App fronts.
+func (a *App) Begin() (Session, error) {
+	if a.BeginFn != nil {
+		return a.BeginFn()
+	}
+	return a.DB.Begin(), nil
+}
+
+// peerOf returns the App owning an ItemNo.
+func (a *App) peerOf(itemNo int64) *App {
+	if len(a.Peers) == 0 {
+		return a
+	}
+	return a.Peers[(itemNo-1)%int64(len(a.Peers))]
+}
+
+// dbOf returns the database owning an object (the cluster's OID rule;
+// single-node deployments own everything).
+func (a *App) dbOf(obj oid.OID) *oodb.DB {
+	if len(a.Peers) == 0 {
+		return a.DB
+	}
+	return a.Peers[(obj.N-1)%uint64(len(a.Peers))].DB
+}
+
+// Component navigates a tuple to a component's OID on whichever node
+// owns the tuple (pure addressing, no lock).
+func (a *App) Component(tuple oid.OID, name string) (oid.OID, error) {
+	return a.dbOf(tuple).Component(tuple, name)
 }
 
 // createItem builds an Item tuple (non-transactional population path).
@@ -189,9 +279,10 @@ func (a *App) createOrder(orderNo, customerNo, quantity int64) (oid.OID, error) 
 }
 
 // Item resolves an ItemNo to the item's OID (non-transactional helper
-// for tests and workload setup).
+// for tests and workload setup; routed to the owning node).
 func (a *App) Item(itemNo int64) (oid.OID, error) {
-	m, ok, err := a.DB.Store().SetSelect(a.Items, val.OfInt(itemNo))
+	p := a.peerOf(itemNo)
+	m, ok, err := p.DB.Store().SetSelect(p.Items, val.OfInt(itemNo))
 	if err != nil {
 		return oid.Nil, err
 	}
@@ -202,17 +293,18 @@ func (a *App) Item(itemNo int64) (oid.OID, error) {
 }
 
 // Order resolves (itemNo, orderNo) to the order's OID
-// (non-transactional helper).
+// (non-transactional helper; an item's orders live on its node).
 func (a *App) Order(itemNo, orderNo int64) (oid.OID, error) {
-	item, err := a.Item(itemNo)
+	p := a.peerOf(itemNo)
+	item, err := p.Item(itemNo)
 	if err != nil {
 		return oid.Nil, err
 	}
-	orders, err := a.DB.Component(item, CompOrders)
+	orders, err := p.DB.Component(item, CompOrders)
 	if err != nil {
 		return oid.Nil, err
 	}
-	m, ok, err := a.DB.Store().SetSelect(orders, val.OfInt(orderNo))
+	m, ok, err := p.DB.Store().SetSelect(orders, val.OfInt(orderNo))
 	if err != nil {
 		return oid.Nil, err
 	}
@@ -225,15 +317,16 @@ func (a *App) Order(itemNo, orderNo int64) (oid.OID, error) {
 // OrderNosOf returns the OrderNos of an item's pre-created orders
 // (sorted; non-transactional helper).
 func (a *App) OrderNosOf(itemNo int64) ([]int64, error) {
-	item, err := a.Item(itemNo)
+	p := a.peerOf(itemNo)
+	item, err := p.Item(itemNo)
 	if err != nil {
 		return nil, err
 	}
-	orders, err := a.DB.Component(item, CompOrders)
+	orders, err := p.DB.Component(item, CompOrders)
 	if err != nil {
 		return nil, err
 	}
-	entries, err := a.DB.Store().SetScan(orders)
+	entries, err := p.DB.Store().SetScan(orders)
 	if err != nil {
 		return nil, err
 	}
@@ -248,12 +341,12 @@ func (a *App) OrderNosOf(itemNo int64) ([]int64, error) {
 // the implementation object that bypassing transactions read directly
 // (paper Figs. 5–7).
 func (a *App) StatusAtom(order oid.OID) (oid.OID, error) {
-	return a.DB.Component(order, CompStatus)
+	return a.dbOf(order).Component(order, CompStatus)
 }
 
 // QOHAtom returns the OID of an item's quantity-on-hand atom.
 func (a *App) QOHAtom(item oid.OID) (oid.OID, error) {
-	return a.DB.Component(item, CompQOH)
+	return a.dbOf(item).Component(item, CompQOH)
 }
 
 // NextOrderNo exposes the order-number allocator (used by tests).

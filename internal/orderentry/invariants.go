@@ -2,6 +2,7 @@ package orderentry
 
 import (
 	"fmt"
+	"sort"
 
 	"semcc/internal/oid"
 	"semcc/internal/val"
@@ -35,8 +36,25 @@ func (a *App) readComp(tuple oid.OID, name string) (val.V, error) {
 }
 
 // Snapshot reads the whole database state directly from the store.
-// Only call it when no transactions are running.
+// Only call it when no transactions are running. A multi-node front
+// merges its peers' snapshots into the order a single-node snapshot
+// would produce (SetScan's canonical key order), so snapshots stay
+// comparable across topologies — the chaos oracle relies on that.
 func (a *App) Snapshot() ([]ItemState, error) {
+	if len(a.Peers) > 0 {
+		var out []ItemState
+		for _, p := range a.Peers {
+			states, err := p.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, states...)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			return val.OfInt(out[i].ItemNo).String() < val.OfInt(out[j].ItemNo).String()
+		})
+		return out, nil
+	}
 	store := a.DB.Store()
 	items, err := store.SetScan(a.Items)
 	if err != nil {

@@ -6,7 +6,6 @@ import (
 
 	"semcc/internal/core"
 	"semcc/internal/oid"
-	"semcc/internal/oodb"
 	"semcc/internal/val"
 )
 
@@ -24,7 +23,7 @@ type OrderRef struct {
 // T1 ships two orders for two different items (invoke ShipOrder on the
 // items).
 func (a *App) T1(o1, o2 OrderRef) error {
-	return a.run(func(tx *oodb.Tx) error {
+	return a.run(func(tx Session) error {
 		for _, o := range []OrderRef{o1, o2} {
 			item, err := a.Item(o.ItemNo)
 			if err != nil {
@@ -41,7 +40,7 @@ func (a *App) T1(o1, o2 OrderRef) error {
 // T2 records a customer's payment of two orders for two different
 // items (invoke PayOrder on the items).
 func (a *App) T2(o1, o2 OrderRef) error {
-	return a.run(func(tx *oodb.Tx) error {
+	return a.run(func(tx Session) error {
 		for _, o := range []OrderRef{o1, o2} {
 			item, err := a.Item(o.ItemNo)
 			if err != nil {
@@ -60,7 +59,7 @@ func (a *App) T2(o1, o2 OrderRef) error {
 // the Item encapsulation (paper Fig. 5).
 func (a *App) T3(o1, o2 OrderRef) (bool, bool, error) {
 	var r1, r2 bool
-	err := a.run(func(tx *oodb.Tx) error {
+	err := a.run(func(tx Session) error {
 		var err error
 		if r1, err = a.testStatus(tx, o1, EventShipped); err != nil {
 			return err
@@ -75,7 +74,7 @@ func (a *App) T3(o1, o2 OrderRef) (bool, bool, error) {
 // (invoke TestStatus on the orders; paper Fig. 6).
 func (a *App) T4(o1, o2 OrderRef) (bool, bool, error) {
 	var r1, r2 bool
-	err := a.run(func(tx *oodb.Tx) error {
+	err := a.run(func(tx Session) error {
 		var err error
 		if r1, err = a.testStatus(tx, o1, EventPaid); err != nil {
 			return err
@@ -90,7 +89,7 @@ func (a *App) T4(o1, o2 OrderRef) (bool, bool, error) {
 // the item; paper Fig. 7).
 func (a *App) T5(itemNo int64) (int64, error) {
 	var total int64
-	err := a.run(func(tx *oodb.Tx) error {
+	err := a.run(func(tx Session) error {
 		item, err := a.Item(itemNo)
 		if err != nil {
 			return err
@@ -109,7 +108,7 @@ func (a *App) T5(itemNo int64) (int64, error) {
 // NewOrder's phantom conflicts). Returns the new OrderNo.
 func (a *App) NewOrderTx(itemNo, customerNo, quantity int64) (int64, error) {
 	var orderNo int64
-	err := a.run(func(tx *oodb.Tx) error {
+	err := a.run(func(tx Session) error {
 		item, err := a.Item(itemNo)
 		if err != nil {
 			return err
@@ -130,7 +129,7 @@ func (a *App) NewOrderTx(itemNo, customerNo, quantity int64) (int64, error) {
 // DebitStock method conflict; under escrow they are admitted together
 // whenever their deltas fit the QOH interval.
 func (a *App) DebitTx(itemNo, amount int64) error {
-	return a.run(func(tx *oodb.Tx) error {
+	return a.run(func(tx Session) error {
 		item, err := a.Item(itemNo)
 		if err != nil {
 			return err
@@ -142,7 +141,7 @@ func (a *App) DebitTx(itemNo, amount int64) error {
 
 // CreditTx runs one top-level transaction restocking an item.
 func (a *App) CreditTx(itemNo, amount int64) error {
-	return a.run(func(tx *oodb.Tx) error {
+	return a.run(func(tx Session) error {
 		item, err := a.Item(itemNo)
 		if err != nil {
 			return err
@@ -157,7 +156,7 @@ func (a *App) CreditTx(itemNo, amount int64) error {
 // method invocations at all), the coexistence case of paper §1.1.
 func (a *App) BypassAudit(refs ...OrderRef) ([]val.V, error) {
 	out := make([]val.V, 0, len(refs))
-	err := a.run(func(tx *oodb.Tx) error {
+	err := a.run(func(tx Session) error {
 		out = out[:0]
 		for _, r := range refs {
 			order, err := a.Order(r.ItemNo, r.OrderNo)
@@ -180,7 +179,7 @@ func (a *App) BypassAudit(refs ...OrderRef) ([]val.V, error) {
 }
 
 // testStatus invokes TestStatus on an order inside tx.
-func (a *App) testStatus(tx *oodb.Tx, ref OrderRef, ev val.Event) (bool, error) {
+func (a *App) testStatus(tx Session, ref OrderRef, ev val.Event) (bool, error) {
 	order, err := a.Order(ref.ItemNo, ref.OrderNo)
 	if err != nil {
 		return false, err
@@ -192,11 +191,15 @@ func (a *App) testStatus(tx *oodb.Tx, ref OrderRef, ev val.Event) (bool, error) 
 	return v.Bool(), nil
 }
 
-// run executes body in a fresh transaction, committing on success and
-// aborting on failure. The returned error preserves ErrDeadlock so
-// callers can retry.
-func (a *App) run(body func(tx *oodb.Tx) error) error {
-	tx := a.DB.Begin()
+// run executes body in a fresh transaction on the App's topology
+// (single engine or coordinator), committing on success and aborting
+// on failure. The returned error preserves ErrDeadlock so callers can
+// retry.
+func (a *App) run(body func(tx Session) error) error {
+	tx, err := a.Begin()
+	if err != nil {
+		return err
+	}
 	if err := body(tx); err != nil {
 		if aerr := tx.Abort(); aerr != nil {
 			return fmt.Errorf("%w (abort: %v)", err, aerr)

@@ -23,6 +23,8 @@ func roundtripRecords() []core.JournalRecord {
 		{Kind: core.JCompensated, Node: 1},
 		{Kind: core.JNodeAborted, Node: 1},
 		{Kind: core.JRootCommit, Node: 4},
+		{Kind: core.JPrepare, Node: 5, Parent: 9},
+		{Kind: core.JDecide, Node: 5, Parent: 9, Splice: true},
 	}
 }
 

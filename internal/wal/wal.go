@@ -354,7 +354,7 @@ func decodeRecord(b []byte, p int, i uint64) (core.JournalRecord, int, error) {
 		return r, p, fmt.Errorf("wal: truncated record %d", i)
 	}
 	r.Kind = core.JournalKind(b[p])
-	if r.Kind > core.JEscrowRelease {
+	if r.Kind > core.JDecide {
 		return r, p, fmt.Errorf("wal: record %d has invalid kind %d", i, b[p])
 	}
 	p++
@@ -441,6 +441,11 @@ type replayNode struct {
 	// reserve is the node's outstanding escrow reservation (the OpAdd
 	// invocation from JEscrowReserve), nil once released or never taken.
 	reserve *compat.Invocation
+	// prepared marks a root that entered 2PC phase 1 (JPrepare seen,
+	// no decision or outcome yet); gid is the distributed transaction
+	// id the prepare record carried.
+	prepared bool
+	gid      uint64
 	// childComp counts compensation steps already accounted through a
 	// compensation child's own JSubCommit but not yet matched by this
 	// node's JCompensated record (the two are distinct records, so a
@@ -455,6 +460,23 @@ type Analysis struct {
 	// Losers: in-flight or mid-abort top-level transactions, each with
 	// the compensating invocations still to apply, in order.
 	Losers []Loser
+	// InDoubt: prepared 2PC participants whose journal ends without a
+	// decision or outcome. The crashed node cannot resolve them alone —
+	// the coordinator's decision log decides (presumed abort for
+	// unknown global ids). Recover resolves them through its decided
+	// callback; plain Analyze only reports them.
+	InDoubt []InDoubt
+}
+
+// InDoubt is one prepared-but-undecided distributed transaction
+// participant: the local root, the coordinator's global transaction
+// id from its JPrepare record, and — should the decision be abort —
+// the same pending-undo payload a Loser carries.
+type InDoubt struct {
+	Root         uint64
+	GID          uint64
+	Pending      []compat.Invocation
+	Reservations []compat.Invocation
 }
 
 // Loser is one transaction requiring rollback completion.
@@ -583,6 +605,30 @@ func Analyze(l RecordSource) (*Analysis, error) {
 				return nil, fmt.Errorf("wal: escrow release for unknown node %d", r.Node)
 			}
 			n.reserve = nil
+		case core.JPrepare:
+			n, ok := nodes[r.Node]
+			if !ok {
+				return nil, fmt.Errorf("wal: prepare of unknown root %d", r.Node)
+			}
+			if n.parent != nil {
+				return nil, fmt.Errorf("wal: prepare of non-root node %d", r.Node)
+			}
+			n.prepared = true
+			n.gid = r.Parent
+		case core.JDecide:
+			n, ok := nodes[r.Node]
+			if !ok {
+				return nil, fmt.Errorf("wal: decide for unknown root %d", r.Node)
+			}
+			// The decision resolves the in-doubt window either way. A
+			// commit decision is the commit point even without the
+			// JRootCommit that normally follows: the participant's
+			// effects are durable and must stand.
+			n.prepared = false
+			if r.Splice {
+				committed[r.Node] = true
+				n.state = core.Committed
+			}
 		}
 	}
 
@@ -639,10 +685,18 @@ func Analyze(l RecordSource) (*Analysis, error) {
 		for _, n := range held {
 			resv = append(resv, *n.reserve)
 		}
+		if r.prepared {
+			// Prepared, undecided: the node alone cannot tell winner
+			// from loser. Report it in-doubt with the loser payload a
+			// presumed-abort resolution would need.
+			a.InDoubt = append(a.InDoubt, InDoubt{Root: r.id, GID: r.gid, Pending: pend, Reservations: resv})
+			continue
+		}
 		a.Losers = append(a.Losers, Loser{Root: r.id, Pending: pend, Reservations: resv})
 	}
 	sort.Slice(a.Committed, func(i, j int) bool { return a.Committed[i] < a.Committed[j] })
 	sort.Slice(a.Losers, func(i, j int) bool { return a.Losers[i].Root < a.Losers[j].Root })
+	sort.Slice(a.InDoubt, func(i, j int) bool { return a.InDoubt[i].Root < a.InDoubt[j].Root })
 	return a, nil
 }
 
@@ -650,11 +704,36 @@ func Analyze(l RecordSource) (*Analysis, error) {
 // db (typically a freshly Reopen-ed database sharing the crashed
 // instance's store). Each loser's pending compensations run in one
 // recovery transaction. It returns the analysis for inspection.
+//
+// In-doubt 2PC participants are resolved by presumed abort: without a
+// coordinator decision log their pending compensations run like any
+// loser's. Use RecoverDecided when decisions are available.
 func Recover(db *oodb.DB, l RecordSource) (*Analysis, error) {
+	return RecoverDecided(db, l, nil)
+}
+
+// RecoverDecided is Recover with the coordinator's decision log:
+// decided reports whether the given distributed transaction id was
+// committed. An in-doubt participant whose global id the coordinator
+// committed is folded into Committed (its durable effects stand and
+// nothing runs); every other in-doubt participant is presumed aborted
+// and completes its rollback like a loser. The resolved entries appear
+// in both InDoubt (raw) and Committed/Losers (as resolved). A nil
+// decided commits nothing — pure presumed abort.
+func RecoverDecided(db *oodb.DB, l RecordSource, decided func(gid uint64) bool) (*Analysis, error) {
 	a, err := Analyze(l)
 	if err != nil {
 		return nil, err
 	}
+	for _, d := range a.InDoubt {
+		if decided != nil && decided(d.GID) {
+			a.Committed = append(a.Committed, d.Root)
+			continue
+		}
+		a.Losers = append(a.Losers, Loser{Root: d.Root, Pending: d.Pending, Reservations: d.Reservations})
+	}
+	sort.Slice(a.Committed, func(i, j int) bool { return a.Committed[i] < a.Committed[j] })
+	sort.Slice(a.Losers, func(i, j int) bool { return a.Losers[i].Root < a.Losers[j].Root })
 	for _, loser := range a.Losers {
 		tx := db.Begin()
 		for _, inv := range loser.Pending {

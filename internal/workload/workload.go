@@ -19,8 +19,10 @@ import (
 	"semcc/internal/compat"
 	"semcc/internal/core"
 	"semcc/internal/core/trace"
+	"semcc/internal/dist"
 	"semcc/internal/obs"
 	"semcc/internal/oodb"
+	"semcc/internal/ordercluster"
 	"semcc/internal/orderentry"
 	"semcc/internal/storage"
 	"semcc/internal/val"
@@ -143,8 +145,23 @@ type Config struct {
 	// Journal, when set, attaches a write-ahead journal to the run's
 	// database — the -wal durability-mode ablation (sync, group-commit
 	// or async). The caller owns its lifecycle: close a group-commit
-	// journal after the run to stop its writer.
+	// journal after the run to stop its writer. Ignored when Nodes ≥ 1
+	// (each node needs its own journal: use NodeJournal).
 	Journal core.Journal
+	// Nodes selects the topology: 0 (the zero value) runs on one
+	// engine with no coordinator — the unchanged direct path; N ≥ 1
+	// shards the database over N engine nodes behind the in-process
+	// transport and routes every transaction through the
+	// two-phase-commit coordinator, with the cross-node deadlock
+	// detector running for the duration of the run. Nodes == 1 is the
+	// ablation baseline: a one-node cluster takes the identical
+	// protocol path as the direct one (the coordinator's
+	// single-participant optimisation), so direct-vs-1 measures pure
+	// coordinator overhead.
+	Nodes int
+	// NodeJournal, when set on a multi-node run, supplies node i's
+	// journal. The caller owns the journals' lifecycles.
+	NodeJournal func(node int) core.Journal
 	// Items is the number of items; contention falls as it grows.
 	Items int
 	// OrdersPerItem sizes each item's pre-created order pool. It must
@@ -310,6 +327,43 @@ func Run(cfg Config) (Metrics, error) {
 		cfg.InitialQOH = int64(shipBudget) * 2
 	}
 
+	popCfg := orderentry.Config{
+		Items:         cfg.Items,
+		OrdersPerItem: cfg.OrdersPerItem,
+		InitialQOH:    cfg.InitialQOH,
+		Price:         10,
+		OrderQuantity: 1,
+	}
+
+	if cfg.Nodes >= 1 {
+		c := dist.OpenCluster(cfg.Nodes, func(i int) oodb.Options {
+			opts := oodb.Options{
+				Protocol:         cfg.Protocol,
+				Compat:           cfg.Compat,
+				NoAncestorRelief: cfg.NoAncestorRelief,
+				LockTable:        cfg.LockTable,
+				StoreShards:      cfg.StoreShards,
+				PoolKind:         cfg.PoolKind,
+			}
+			if cfg.NodeJournal != nil {
+				opts.Journal = cfg.NodeJournal(i)
+			}
+			if i == 0 {
+				opts.Tracer = cfg.Tracer
+				opts.Obs = cfg.Obs
+			}
+			return opts
+		})
+		defer c.Close()
+		app, err := ordercluster.Setup(c, popCfg)
+		if err != nil {
+			return Metrics{}, err
+		}
+		stop := c.StartDetector(2 * time.Millisecond)
+		defer stop()
+		return RunOn(app, cfg)
+	}
+
 	db := oodb.Open(oodb.Options{
 		Protocol:         cfg.Protocol,
 		Compat:           cfg.Compat,
@@ -321,13 +375,7 @@ func Run(cfg Config) (Metrics, error) {
 		Tracer:           cfg.Tracer,
 		Obs:              cfg.Obs,
 	})
-	app, err := orderentry.Setup(db, orderentry.Config{
-		Items:         cfg.Items,
-		OrdersPerItem: cfg.OrdersPerItem,
-		InitialQOH:    cfg.InitialQOH,
-		Price:         10,
-		OrderQuantity: 1,
-	})
+	app, err := orderentry.Setup(db, popCfg)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -406,7 +454,7 @@ func RunOn(app *orderentry.App, cfg Config) (Metrics, error) {
 		ClientErrors:   uint64(len(clientErrs)),
 		Retries:        retries.Load(),
 		Elapsed:        elapsed,
-		Engine:         app.DB.Engine().Stats(),
+		Engine:         engineStats(app),
 		NetStock:       picker.netStockMap(),
 	}
 	if len(clientErrs) > 0 {
@@ -429,6 +477,20 @@ func RunOn(app *orderentry.App, cfg Config) (Metrics, error) {
 		}
 	}
 	return m, nil
+}
+
+// engineStats returns the run's engine statistics: the single
+// engine's snapshot, or the field-wise sum over every node of a
+// multi-node front.
+func engineStats(app *orderentry.App) core.StatsSnapshot {
+	if len(app.Peers) == 0 {
+		return app.DB.Engine().Stats()
+	}
+	var s core.StatsSnapshot
+	for _, p := range app.Peers {
+		s = s.Add(p.DB.Engine().Stats())
+	}
+	return s
 }
 
 func isRetryable(err error) bool {
@@ -604,11 +666,14 @@ func (p *picker) bypassWrite(rng *rand.Rand) error {
 	if err != nil {
 		return err
 	}
-	custAtom, err := p.app.DB.Component(order, orderentry.CompCustomer)
+	custAtom, err := p.app.Component(order, orderentry.CompCustomer)
 	if err != nil {
 		return err
 	}
-	tx := p.app.DB.Begin()
+	tx, err := p.app.Begin()
+	if err != nil {
+		return err
+	}
 	v, err := tx.Get(custAtom)
 	if err != nil {
 		_ = tx.Abort()

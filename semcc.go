@@ -38,6 +38,7 @@ import (
 	"semcc/internal/compat"
 	"semcc/internal/core"
 	"semcc/internal/core/trace"
+	"semcc/internal/dist"
 	"semcc/internal/obs"
 	"semcc/internal/oid"
 	"semcc/internal/oodb"
@@ -314,3 +315,37 @@ func CompatModes() []CompatMode { return compat.Modes() }
 // and bounds; attach one with Matrix.SetEscrow to make the type's
 // updates eligible for state-dependent admission under CompatEscrow.
 type EscrowSpec = compat.EscrowSpec
+
+// Cluster is an in-process multi-node topology: N engine nodes, each
+// owning the OID shard its allocator strides over, behind a Transport,
+// with root transactions routed through a two-phase-commit
+// coordinator and a cross-node deadlock detector merging the nodes'
+// waits-for graphs (DESIGN.md §3.14).
+type Cluster = dist.Cluster
+
+// ClusterTx is a root transaction spanning a Cluster's nodes: method
+// invocations and bypass operations route to the owning node, and
+// commit runs two-phase commit over the participants' journals (a
+// root that did work on at most one node commits exactly like a
+// single-engine root).
+type ClusterTx = dist.Tx
+
+// ClusterNode is one engine node of a Cluster, wrapping its own
+// database with lock table, escrow table, buffer pool and journal.
+type ClusterNode = dist.Node
+
+// Transport carries the coordinator's per-node operations; the
+// in-process implementation backs OpenCluster, and the interface is
+// the seam a socket transport plugs into.
+type Transport = dist.Transport
+
+// ErrNodeDown is reported (via errors.Is) by cluster operations that
+// reached a killed node.
+var ErrNodeDown = dist.ErrNodeDown
+
+// OpenCluster creates an n-node cluster; opts(i) configures node i's
+// engine (the cluster overrides each node's OID allocation stride and
+// offset so ownership is derivable from any OID).
+func OpenCluster(n int, opts func(i int) Options) *Cluster {
+	return dist.OpenCluster(n, opts)
+}
