@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet staticcheck bench bench-store bench-obs bench-wal bench-compat bench-dist fuzz-regress race-recovery fuzz chaos BENCH_6.json BENCH_8.json BENCH_9.json
+.PHONY: check build test race vet staticcheck bench bench-store bench-obs bench-obs-dist bench-wal bench-compat bench-dist fuzz-regress race-recovery fuzz chaos BENCH_6.json BENCH_8.json BENCH_9.json BENCH_10.json
 
 # The full gate: what CI (and every PR) must pass. `race` runs the
 # whole suite (including the recovery and crash-point tests) under the
@@ -78,6 +78,20 @@ bench-store:
 # ns/op with zero allocations.
 bench-obs:
 	$(GO) test -run=NONE -bench 'Overhead|DisabledSite' -benchmem -cpu 4 . ./internal/obs
+
+# The cluster observability cost contract (E10): the transport hop
+# with no coordinator Obs / attached-but-disabled / fully enabled
+# (none vs disabled is the regression to watch, backed by the
+# disabled-path zero-alloc test), then the quick E10 overhead sweep —
+# paired off/on cluster runs across topologies and MPLs.
+bench-obs-dist:
+	$(GO) test -run 'TestDisabledPathAllocs' -bench 'BenchmarkDistHop' -benchmem -cpu 4 ./internal/dist
+	$(GO) run ./cmd/semcc-bench -exp E10 -quick
+
+# Regenerate the checked-in E10 cluster observability overhead sweep
+# (full parameter grid; the acceptance bar is <3% overhead at nodes=2).
+BENCH_10.json:
+	$(GO) run ./cmd/semcc-bench -exp E10 -json > $@
 
 # The commit-path durability comparison: the disjoint-object parallel
 # method workload across journal modes (none / sync / group / async),

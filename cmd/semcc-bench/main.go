@@ -1,5 +1,5 @@
 // Command semcc-bench runs the performance experiments (DESIGN.md §4,
-// E1–E9) and prints their tables. Every experiment compares the
+// E1–E10) and prints their tables. Every experiment compares the
 // paper's semantic open-nested protocol against the conventional
 // baselines on the order-entry workload.
 //
@@ -24,6 +24,8 @@
 //	                               # (the checked-in BENCH_8.json)
 //	semcc-bench -exp E9 -json      # topology sweep as JSON
 //	                               # (the checked-in BENCH_9.json)
+//	semcc-bench -exp E10 -json     # cluster observability overhead sweep
+//	                               # as JSON (the checked-in BENCH_10.json)
 //	semcc-bench -nodes 2           # run every experiment point on a
 //	                               # two-node cluster behind the 2PC
 //	                               # coordinator (0 = direct engine)
@@ -38,12 +40,20 @@
 //	                               # at /slow, pprof at /debug/pprof/),
 //	                               # kept up after the run until ^C
 //	semcc-bench -serve :8080 -slowms 5  # log span trees of roots >= 5ms
+//	semcc-bench -serve :8080 -nodes 2   # merged cluster endpoint: the
+//	                               # coordinator's metrics and distributed
+//	                               # spans plus every node's registry with
+//	                               # node="i" labels (-serve -nodes is
+//	                               # incompatible with -hot/-trace, which
+//	                               # profile a direct single engine)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"sync"
 	"time"
 
 	"semcc/internal/compat"
@@ -57,7 +67,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E9); empty runs all")
+	exp := flag.String("exp", "", "experiment id (E1..E10); empty runs all")
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
 	lockmgr := flag.String("lockmgr", "striped", "lock table implementation: striped or global")
 	store := flag.String("store", "sharded", "object store layout: sharded or global (single shard)")
@@ -145,13 +155,50 @@ func main() {
 
 	var served *obs.Obs
 	if *serve != "" {
+		// -hot/-trace profile a direct single engine regardless of
+		// -nodes, so there is no cluster whose merged registry the
+		// endpoint could serve: refuse the combination rather than
+		// silently serving something else.
+		if *nodes >= 1 && (*hot || *traceN > 0) {
+			fmt.Fprintln(os.Stderr, "semcc-bench: -serve with -nodes >= 1 cannot serve -hot/-trace (the contention profiler runs a direct single engine, not the cluster)")
+			fmt.Fprintln(os.Stderr, "usage: semcc-bench -serve :8080 -nodes 2 [-exp <id>] [-quick]   # merged cluster endpoint")
+			fmt.Fprintln(os.Stderr, "       semcc-bench -serve :8080 -hot [-trace N]                 # direct-engine profile")
+			os.Exit(2)
+		}
 		served = obs.New(obs.Config{
 			SlowSpan: time.Duration(*slowms) * time.Millisecond,
 			SlowLog:  os.Stderr,
 		})
 		served.SetEnabled(true)
 		harness.SetObs(served)
-		srv, err := served.Serve(*serve)
+		var srv *obs.Server
+		if *nodes >= 1 {
+			// Merged cluster endpoint: the shared Obs becomes the
+			// coordinator part (hop/2PC metrics, distributed spans), and
+			// each node's engine Obs is created on first use and added
+			// with a node="i" label. Experiment points reuse the same
+			// per-node handles, so metrics accumulate across points just
+			// like the single-engine -serve mode.
+			merged := obs.NewMerged()
+			merged.Add(served)
+			var mu sync.Mutex
+			nodeParts := map[int]*obs.Obs{}
+			harness.SetNodeObs(func(i int) *obs.Obs {
+				mu.Lock()
+				defer mu.Unlock()
+				o := nodeParts[i]
+				if o == nil {
+					o = obs.New(obs.Config{})
+					o.SetEnabled(true)
+					nodeParts[i] = o
+					merged.Add(o, obs.L("node", strconv.Itoa(i)))
+				}
+				return o
+			})
+			srv, err = merged.Serve(*serve)
+		} else {
+			srv, err = served.Serve(*serve)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -192,6 +239,15 @@ func main() {
 	}
 	if *asJSON && *exp == "E9" {
 		out, err := harness.DistSweepJSON(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	if *asJSON && *exp == "E10" {
+		out, err := harness.ObsDistSweepJSON(*quick)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

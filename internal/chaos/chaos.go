@@ -107,6 +107,19 @@ type Epoch struct {
 	// Losers is how many in-flight roots the epoch's recovery rolled
 	// back. Zero for the final epoch (no terminating crash).
 	Losers int
+
+	// The Obs* fields are the per-epoch deltas of the cluster
+	// coordinator's observability counters (dist.DistStats), recorded on
+	// multi-node runs only — all zero on a single engine, where no
+	// coordinator exists. The driver asserts they reconcile with its own
+	// event counts (metrics that lie under crashes are worse than no
+	// metrics), and since the schedule is deterministic they are part of
+	// the reproducible Report.
+	ObsCommits        int
+	ObsAborts         int
+	ObsRecoveries     int
+	ObsInDoubtCommits int
+	ObsInDoubtAborts  int
 }
 
 // Report is the outcome of a chaos run. Every field is a pure

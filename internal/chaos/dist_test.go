@@ -34,6 +34,20 @@ func TestChaosOracleMultiNode(t *testing.T) {
 	if rep.Committed == 0 {
 		t.Fatal("no roots committed")
 	}
+	// The driver already fails the run if the coordinator's counters
+	// disagree with its event counts; pin here that the epochs carry
+	// them at all (a silently-zero delta would also "reconcile").
+	var obsCommits, obsRecoveries int
+	for _, e := range rep.Epochs {
+		obsCommits += e.ObsCommits
+		obsRecoveries += e.ObsRecoveries
+	}
+	if obsCommits != rep.Committed {
+		t.Errorf("epoch obs commits sum to %d, report committed %d", obsCommits, rep.Committed)
+	}
+	if obsRecoveries != rep.Kills {
+		t.Errorf("epoch obs recoveries sum to %d, report kills %d", obsRecoveries, rep.Kills)
+	}
 }
 
 // TestChaosMultiNodeReproducible pins the reproduction contract on a

@@ -49,6 +49,7 @@ import (
 	"semcc/internal/compat"
 	"semcc/internal/core"
 	"semcc/internal/dist"
+	"semcc/internal/obs"
 	"semcc/internal/oid"
 	"semcc/internal/oodb"
 	"semcc/internal/ordercluster"
@@ -136,6 +137,10 @@ type driver struct {
 	cluster    *dist.Cluster
 	journals   []wal.Journal
 	crashEpoch bool
+	// lastDist is the coordinator observability counters at the last
+	// epoch boundary; per-epoch deltas against it populate the Epoch
+	// Obs* fields and the reconcile checks (multi-node runs only).
+	lastDist dist.DistStats
 
 	byCore map[uint64]*rootState // root core id → state; guarded by mu
 	mu     chan struct{}         // 1-token mutex (keeps imports lean)
@@ -228,6 +233,14 @@ func newDriver(cfg Config) *driver {
 				Compat:     d.compatSeq[0],
 			}
 		})
+		// The coordinator runs with observability enabled for the whole
+		// run: the chaos oracle doubles as the instrumentation's audit —
+		// every epoch's counter deltas must reconcile with the driver's
+		// own event counts, kills and recoveries included. Collection is
+		// timing-only on the metric side, so TraceHash is unaffected.
+		co := obs.New(obs.Config{})
+		co.SetEnabled(true)
+		d.cluster.AttachObs(co)
 		app, err := ordercluster.Setup(d.cluster, d.pop)
 		if err != nil {
 			d.fail("setup: %v", err)
@@ -608,6 +621,8 @@ func (d *driver) run() {
 		MaxBatch: d.curBatch,
 		Records:  d.journalLen(),
 	})
+	d.fillEpochObs()
+	d.reconcileObs()
 	d.report.Actions = d.doneActions
 }
 
@@ -623,6 +638,58 @@ func (d *driver) journalLen() int {
 		n += j.Len()
 	}
 	return n
+}
+
+// fillEpochObs records the coordinator observability counter deltas
+// since the previous epoch boundary into the just-appended Epoch entry
+// (no-op on a single engine, where there is no coordinator). The
+// deltas are pure functions of the deterministic schedule, so they are
+// part of the reproducible Report.
+func (d *driver) fillEpochObs() dist.DistStats {
+	if d.cluster == nil {
+		return dist.DistStats{}
+	}
+	cur := d.cluster.DistStats()
+	delta := dist.DistStats{
+		SingleCommits:  cur.SingleCommits - d.lastDist.SingleCommits,
+		Commits2PC:     cur.Commits2PC - d.lastDist.Commits2PC,
+		Aborts:         cur.Aborts - d.lastDist.Aborts,
+		Recoveries:     cur.Recoveries - d.lastDist.Recoveries,
+		InDoubtCommits: cur.InDoubtCommits - d.lastDist.InDoubtCommits,
+		InDoubtAborts:  cur.InDoubtAborts - d.lastDist.InDoubtAborts,
+	}
+	d.lastDist = cur
+	ep := &d.report.Epochs[len(d.report.Epochs)-1]
+	ep.ObsCommits = int(delta.SingleCommits + delta.Commits2PC)
+	ep.ObsAborts = int(delta.Aborts)
+	ep.ObsRecoveries = int(delta.Recoveries)
+	ep.ObsInDoubtCommits = int(delta.InDoubtCommits)
+	ep.ObsInDoubtAborts = int(delta.InDoubtAborts)
+	return delta
+}
+
+// reconcileObs is the end-of-run audit of the coordinator's counters
+// against the driver's own event counts: every root the driver saw
+// commit must appear in exactly one commit counter, every voluntary or
+// crash abort in the abort counter, and every kill in the recovery
+// counter. Metrics that lie under crashes are worse than no metrics.
+func (d *driver) reconcileObs() {
+	if d.cluster == nil {
+		return
+	}
+	tot := d.lastDist
+	if got := int(tot.SingleCommits + tot.Commits2PC); got != d.report.Committed {
+		d.fail("obs reconcile: coordinator counted %d commits (%d single + %d 2pc), driver committed %d",
+			got, tot.SingleCommits, tot.Commits2PC, d.report.Committed)
+	}
+	if want := d.report.Aborted + d.report.CrashAborted; int(tot.Aborts) != want {
+		d.fail("obs reconcile: coordinator counted %d aborts, driver aborted %d (%d voluntary + %d crash)",
+			tot.Aborts, want, d.report.Aborted, d.report.CrashAborted)
+	}
+	if int(tot.Recoveries) != d.report.Kills {
+		d.fail("obs reconcile: coordinator counted %d recoveries, driver killed %d nodes",
+			tot.Recoveries, d.report.Kills)
+	}
 }
 
 // inject is the deliberate fault: a non-transactional write bumping an
@@ -914,6 +981,25 @@ func (d *driver) killNode() {
 	}
 	d.app.Peers[victim] = attached
 	d.report.Epochs[len(d.report.Epochs)-1].Losers = len(an.Losers)
+	// Per-kill reconcile: the epoch's counter deltas must account for
+	// exactly this recovery, and the in-doubt resolutions must match
+	// the analysis split by the coordinator's decision log.
+	delta := d.fillEpochObs()
+	if delta.Recoveries != 1 {
+		d.fail("killnode: obs counted %d recoveries for one kill", delta.Recoveries)
+	}
+	wantCommit, wantAbort := 0, 0
+	for _, id := range an.InDoubt {
+		if d.cluster.DecisionLog().Committed(id.GID) {
+			wantCommit++
+		} else {
+			wantAbort++
+		}
+	}
+	if int(delta.InDoubtCommits) != wantCommit || int(delta.InDoubtAborts) != wantAbort {
+		d.fail("killnode: obs counted %d/%d in-doubt commit/abort resolutions, analysis had %d/%d",
+			delta.InDoubtCommits, delta.InDoubtAborts, wantCommit, wantAbort)
+	}
 	d.report.Kills++
 	d.tracef("killnode#%d victim=%d keep=%d torn=%d img=%016x losers=%d next=%s/%d",
 		d.report.Kills, victim, len(recs), torn, hashBytes(keep), len(an.Losers), mode, d.curBatch)

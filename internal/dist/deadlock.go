@@ -2,6 +2,7 @@ package dist
 
 import (
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -30,9 +31,16 @@ type gedge struct {
 // a given edge set; single-node cycles are skipped — the local
 // detector owns them and will have fired long before this pass.
 func (c *Cluster) CheckDeadlocks() int {
+	co := c.co
+	on := co.on()
+	var start time.Time
+	if on {
+		co.sweeps.Inc()
+		start = time.Now()
+	}
 	var edges []gedge
 	for i := range c.nodes {
-		resp := c.tr.Send(i, Request{Op: OpEdges})
+		resp := c.send(i, Request{Op: OpEdges})
 		if resp.Err != nil {
 			continue // down node: its branches are not waiting
 		}
@@ -49,12 +57,20 @@ func (c *Cluster) CheckDeadlocks() int {
 		}
 		return edges[a].node < edges[b].node
 	})
+	if on {
+		// Merged-graph build time: the edge pull across the transport
+		// plus the deterministic sort.
+		co.mergeNs.Observe(uint64(time.Since(start)))
+	}
 
 	victims := 0
 	for {
 		cycle := findCycle(edges)
 		if cycle == nil {
 			break
+		}
+		if on {
+			co.cycles.Inc()
 		}
 		nodes := make(map[int]bool)
 		var victim uint64
@@ -69,8 +85,11 @@ func (c *Cluster) CheckDeadlocks() int {
 			// blocked (its waiter edge's reporter).
 			for _, e := range cycle {
 				if e.waiter == victim {
-					c.tr.Send(e.node, Request{Op: OpVictim, GID: victim})
+					c.send(e.node, Request{Op: OpVictim, GID: victim})
 					victims++
+					if on {
+						co.victims.Inc()
+					}
 					break
 				}
 			}
@@ -142,7 +161,9 @@ func findCycle(edges []gedge) []gedge {
 
 // StartDetector runs CheckDeadlocks every interval until the returned
 // stop function is called. Workload and chaos runs use it; tests that
-// need a deterministic pass call CheckDeadlocks directly.
+// need a deterministic pass call CheckDeadlocks directly. The stop
+// function is idempotent, and the detector registers with the cluster
+// so Cluster.Close stops it too — stop() after Close is a no-op.
 func (c *Cluster) StartDetector(interval time.Duration) (stop func()) {
 	done := make(chan struct{})
 	finished := make(chan struct{})
@@ -159,8 +180,15 @@ func (c *Cluster) StartDetector(interval time.Duration) (stop func()) {
 			}
 		}
 	}()
-	return func() {
-		close(done)
-		<-finished
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
 	}
+	c.mu.Lock()
+	c.detStops = append(c.detStops, stop)
+	c.mu.Unlock()
+	return stop
 }

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"semcc/internal/compat"
 	"semcc/internal/objstore"
+	"semcc/internal/obs"
 	"semcc/internal/oid"
 	"semcc/internal/oodb"
 	"semcc/internal/val"
@@ -47,13 +49,24 @@ func (d *DecisionLog) Committed(gid uint64) bool {
 	return d.committed[gid]
 }
 
+// Closer is anything Cluster.Own can adopt for shutdown. It matches
+// wal.Journal's no-error Close rather than io.Closer.
+type Closer interface{ Close() }
+
 // Cluster is N engine nodes behind a transport, plus the coordinator
-// state: the global transaction id allocator and the decision log.
+// state: the global transaction id allocator, the decision log, and
+// (when attached) the coordinator's observability handles.
 type Cluster struct {
 	nodes []*Node
 	tr    Transport
 	gids  atomic.Uint64
 	dlog  *DecisionLog
+	co    *clusterObs
+
+	mu        sync.Mutex
+	detStops  []func()
+	owned     []Closer
+	closeOnce sync.Once
 }
 
 // New wires the given databases into a cluster over the in-process
@@ -111,9 +124,56 @@ func (c *Cluster) OwnerDB(obj oid.OID) *oodb.DB {
 	return c.nodes[c.Owner(obj)].DB()
 }
 
-// Close shuts the transport down. Stop the deadlock detector and all
-// client goroutines first.
-func (c *Cluster) Close() { c.tr.Close() }
+// Own transfers shutdown responsibility for closers (typically the
+// per-node journals) to the cluster: Close will close them after the
+// transport drains.
+func (c *Cluster) Own(closers ...Closer) {
+	c.mu.Lock()
+	c.owned = append(c.owned, closers...)
+	c.mu.Unlock()
+}
+
+// Close shuts the cluster down, idempotently: any running deadlock
+// detectors are stopped first, then the transport drains, then owned
+// closers (per-node journals) are closed — flushing group-commit
+// batches. Callers must have stopped issuing transactions; calling a
+// detector's stop() before or after Close is safe either way.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		stops := c.detStops
+		owned := c.owned
+		c.detStops, c.owned = nil, nil
+		c.mu.Unlock()
+		for _, stop := range stops {
+			stop()
+		}
+		c.tr.Close()
+		for _, cl := range owned {
+			cl.Close()
+		}
+	})
+}
+
+// send routes one request through the transport, charging the hop to
+// the coordinator metrics when observability is enabled. The disabled
+// path is one nil check plus one atomic load — no allocations beyond
+// the transport's own.
+func (c *Cluster) send(node int, req Request) Response {
+	co := c.co
+	if !co.on() {
+		return c.tr.Send(node, req)
+	}
+	co.inflight.Add(1)
+	start := time.Now()
+	resp := c.tr.Send(node, req)
+	co.hop[req.Op].Observe(uint64(time.Since(start)))
+	co.inflight.Add(-1)
+	if resp.Err != nil && errors.Is(resp.Err, ErrNodeDown) {
+		co.nodeDown.Inc()
+	}
+	return resp
+}
 
 // Tx is a coordinator transaction: one global transaction spanning a
 // branch (a local top-level transaction) on every node. Like
@@ -130,6 +190,9 @@ type Tx struct {
 	begun  []bool
 	worked []bool // node executed at least one operation
 	done   bool
+	// span is the distributed span root (ID = GID, label "global"),
+	// nil when the coordinator's Obs is absent or disabled at Begin.
+	span *obs.Span
 }
 
 // Begin starts a global transaction with a branch on every node. If
@@ -142,18 +205,41 @@ func (c *Cluster) Begin() (*Tx, error) {
 		begun:  make([]bool, len(c.nodes)),
 		worked: make([]bool, len(c.nodes)),
 	}
+	if co := c.co; co.on() {
+		t.span = co.o.Spans.BeginRoot(t.gid, "global")
+	}
 	for i := range c.nodes {
-		resp := c.tr.Send(i, Request{Op: OpBegin, GID: t.gid})
+		resp := c.send(i, Request{Op: OpBegin, GID: t.gid})
 		if resp.Err != nil {
 			for j := 0; j < i; j++ {
-				c.tr.Send(j, Request{Op: OpAbort, GID: t.gid})
+				c.send(j, Request{Op: OpAbort, GID: t.gid})
 			}
 			t.done = true
+			t.finishSpan(obs.OutcomeAborted)
 			return nil, fmt.Errorf("dist: begin on node %d: %w", i, resp.Err)
 		}
 		t.begun[i] = true
 	}
 	return t, nil
+}
+
+// finishSpan publishes the distributed span, if one was begun.
+func (t *Tx) finishSpan(out obs.Outcome) {
+	if t.span != nil {
+		t.c.co.o.Spans.FinishRoot(t.span, out)
+	}
+}
+
+// graft finishes a phase child span, hanging the node's branch tree
+// (when the node collected one) beneath it. Nil-safe in ps.
+func graft(ps *obs.Span, branch *obs.Span, out obs.Outcome) {
+	if ps == nil {
+		return
+	}
+	if branch != nil {
+		ps.Children = append(ps.Children, branch)
+	}
+	ps.Finish(out)
 }
 
 // GID returns the coordinator-assigned global transaction id.
@@ -163,7 +249,7 @@ func (t *Tx) GID() uint64 { return t.gid }
 func (t *Tx) invoke(inv compat.Invocation) (val.V, error) {
 	n := t.c.Owner(inv.Object)
 	t.worked[n] = true
-	resp := t.c.tr.Send(n, Request{Op: OpInvoke, GID: t.gid, Inv: inv})
+	resp := t.c.send(n, Request{Op: OpInvoke, GID: t.gid, Inv: inv})
 	return resp.Val, resp.Err
 }
 
@@ -218,7 +304,7 @@ func (t *Tx) Remove(set oid.OID, key val.V) error {
 func (t *Tx) Scan(set oid.OID) ([]objstore.SetEntry, error) {
 	n := t.c.Owner(set)
 	t.worked[n] = true
-	resp := t.c.tr.Send(n, Request{Op: OpScan, GID: t.gid, Inv: compat.Inv(set, compat.OpScan)})
+	resp := t.c.send(n, Request{Op: OpScan, GID: t.gid, Inv: compat.Inv(set, compat.OpScan)})
 	return resp.Entries, resp.Err
 }
 
@@ -248,50 +334,122 @@ func (t *Tx) Commit() error {
 		}
 	}
 
+	co := t.c.co
+	on := co.on()
+
 	if len(workful) <= 1 {
+		// Single-participant fast path: no prepare, no decision record.
 		var firstErr error
 		for i := range t.begun {
 			if !t.begun[i] {
 				continue
 			}
-			resp := t.c.tr.Send(i, Request{Op: OpCommit, GID: t.gid})
+			var ps *obs.Span
+			if t.span != nil {
+				ps = t.span.NewChild(t.gid, co.commitLabel[i])
+			}
+			resp := t.c.send(i, Request{Op: OpCommit, GID: t.gid})
+			graft(ps, resp.Span, spanOutcome(resp.Err))
 			if resp.Err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("dist: commit on node %d: %w", i, resp.Err)
 			}
 		}
+		if on {
+			if firstErr == nil {
+				co.commitsSingle.Inc()
+			} else {
+				co.aborts.Inc()
+			}
+		}
+		t.finishSpan(spanOutcome(firstErr))
 		return firstErr
 	}
 
 	// Phase 1: prepare every working branch, in node-index order.
 	for k, i := range workful {
-		resp := t.c.tr.Send(i, Request{Op: OpPrepare, GID: t.gid})
+		var ps *obs.Span
+		if t.span != nil {
+			ps = t.span.NewChild(t.gid, co.prepLabel[i])
+		}
+		var start time.Time
+		if on {
+			start = time.Now()
+		}
+		resp := t.c.send(i, Request{Op: OpPrepare, GID: t.gid})
+		if on {
+			co.prepNs[i].Observe(uint64(time.Since(start)))
+		}
+		graft(ps, nil, spanOutcome(resp.Err))
 		if resp.Err != nil {
 			// Decide abort: prepared branches get the decision record
 			// (they promised not to abort unilaterally), the failed and
 			// unprepared ones roll back plainly. Presumed abort logs
 			// nothing.
 			for _, j := range workful[:k] {
-				t.c.tr.Send(j, Request{Op: OpDecide, GID: t.gid, Commit: false})
+				var as *obs.Span
+				if t.span != nil {
+					as = t.span.NewChild(t.gid, co.decLabel[j])
+				}
+				dresp := t.c.send(j, Request{Op: OpDecide, GID: t.gid, Commit: false})
+				graft(as, dresp.Span, obs.OutcomeAborted)
 			}
 			for _, j := range workful[k:] {
-				t.c.tr.Send(j, Request{Op: OpAbort, GID: t.gid})
+				var as *obs.Span
+				if t.span != nil {
+					as = t.span.NewChild(t.gid, co.abortLabel[j])
+				}
+				aresp := t.c.send(j, Request{Op: OpAbort, GID: t.gid})
+				graft(as, aresp.Span, obs.OutcomeAborted)
 			}
 			t.finishEmpties(workful)
+			if on {
+				co.aborts.Inc()
+			}
+			t.finishSpan(obs.OutcomeAborted)
 			return fmt.Errorf("dist: prepare on node %d: %w", i, resp.Err)
 		}
 	}
 
 	// Commit point: the decision outlives any node crash.
+	var ds *obs.Span
+	if t.span != nil {
+		ds = t.span.NewChild(t.gid, "decision-log")
+	}
 	t.c.dlog.Commit(t.gid)
+	ds.Finish(obs.OutcomeCommitted)
 
 	// Phase 2: apply the decision. Errors here (a node dying between
 	// prepare and decide) do not change the outcome — the in-doubt
 	// branch resolves to commit at recovery.
 	for _, i := range workful {
-		t.c.tr.Send(i, Request{Op: OpDecide, GID: t.gid, Commit: true})
+		var ps *obs.Span
+		if t.span != nil {
+			ps = t.span.NewChild(t.gid, co.decLabel[i])
+		}
+		var start time.Time
+		if on {
+			start = time.Now()
+		}
+		resp := t.c.send(i, Request{Op: OpDecide, GID: t.gid, Commit: true})
+		if on {
+			co.decNs[i].Observe(uint64(time.Since(start)))
+		}
+		graft(ps, resp.Span, obs.OutcomeCommitted)
 	}
 	t.finishEmpties(workful)
+	if on {
+		co.commits2PC.Inc()
+	}
+	t.finishSpan(obs.OutcomeCommitted)
 	return nil
+}
+
+// spanOutcome maps a protocol error to the span outcome of the step.
+func spanOutcome(err error) obs.Outcome {
+	if err != nil {
+		return obs.OutcomeAborted
+	}
+	return obs.OutcomeCommitted
 }
 
 // finishEmpties commits the branches that did no work (their commit
@@ -303,7 +461,12 @@ func (t *Tx) finishEmpties(workful []int) {
 	}
 	for i := range t.begun {
 		if t.begun[i] && !isWorkful[i] {
-			t.c.tr.Send(i, Request{Op: OpCommit, GID: t.gid})
+			var ps *obs.Span
+			if t.span != nil {
+				ps = t.span.NewChild(t.gid, t.c.co.commitLabel[i])
+			}
+			resp := t.c.send(i, Request{Op: OpCommit, GID: t.gid})
+			graft(ps, resp.Span, spanOutcome(resp.Err))
 		}
 	}
 }
@@ -316,16 +479,26 @@ func (t *Tx) Abort() error {
 		return fmt.Errorf("dist: abort of finished global tx %d", t.gid)
 	}
 	t.done = true
+	co := t.c.co
 	var firstErr error
 	for i := range t.begun {
 		if !t.begun[i] {
 			continue
 		}
-		resp := t.c.tr.Send(i, Request{Op: OpAbort, GID: t.gid})
+		var ps *obs.Span
+		if t.span != nil {
+			ps = t.span.NewChild(t.gid, co.abortLabel[i])
+		}
+		resp := t.c.send(i, Request{Op: OpAbort, GID: t.gid})
+		graft(ps, resp.Span, obs.OutcomeAborted)
 		if resp.Err != nil && firstErr == nil && !errors.Is(resp.Err, ErrNodeDown) {
 			firstErr = fmt.Errorf("dist: abort on node %d: %w", i, resp.Err)
 		}
 	}
+	if co.on() {
+		co.aborts.Inc()
+	}
+	t.finishSpan(obs.OutcomeAborted)
 	return firstErr
 }
 
@@ -345,5 +518,15 @@ func (c *Cluster) RecoverNode(i int, opts oodb.Options, records wal.RecordSource
 		return nil, fmt.Errorf("dist: recover node %d: %w", i, err)
 	}
 	n.Revive(db)
+	if co := c.co; co.on() {
+		co.recoveries.Inc()
+		for _, d := range a.InDoubt {
+			if c.dlog.Committed(d.GID) {
+				co.indoubtCommit.Inc()
+			} else {
+				co.indoubtAbort.Inc()
+			}
+		}
+	}
 	return a, nil
 }

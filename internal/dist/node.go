@@ -149,17 +149,20 @@ func (n *Node) Handle(req Request) (resp Response) {
 	case OpCommit:
 		err := tx.Commit()
 		n.drop(req.GID, tx)
-		return Response{Err: err}
+		// The branch is settled, so its span tree (if the node's Obs
+		// collected one) is finished and immutable — hand it to the
+		// coordinator for grafting into the distributed span.
+		return Response{Err: err, Span: tx.Root().Span()}
 	case OpAbort:
 		err := tx.Abort()
 		n.drop(req.GID, tx)
-		return Response{Err: err}
+		return Response{Err: err, Span: tx.Root().Span()}
 	case OpPrepare:
 		return Response{Err: db.Engine().PrepareRoot(tx.Root(), req.GID)}
 	case OpDecide:
 		err := db.Engine().DecideRoot(tx.Root(), req.GID, req.Commit)
 		n.drop(req.GID, tx)
-		return Response{Err: err}
+		return Response{Err: err, Span: tx.Root().Span()}
 	}
 	return Response{Err: fmt.Errorf("dist: unknown op %d", req.Op)}
 }

@@ -20,6 +20,7 @@ import (
 	"semcc/internal/compat"
 	"semcc/internal/core/waitgraph"
 	"semcc/internal/objstore"
+	"semcc/internal/obs"
 	"semcc/internal/val"
 )
 
@@ -60,7 +61,35 @@ const (
 	// OpVictim condemns the global transaction's branch for a
 	// cross-node deadlock cycle the coordinator found.
 	OpVictim
+
+	numOps // count of op kinds (sizes the per-op metric arrays)
 )
+
+// String returns the op name (the value of the op= metric label).
+func (k OpKind) String() string {
+	switch k {
+	case OpBegin:
+		return "begin"
+	case OpInvoke:
+		return "invoke"
+	case OpScan:
+		return "scan"
+	case OpCommit:
+		return "commit"
+	case OpAbort:
+		return "abort"
+	case OpPrepare:
+		return "prepare"
+	case OpDecide:
+		return "decide"
+	case OpEdges:
+		return "edges"
+	case OpVictim:
+		return "victim"
+	default:
+		return "unknown"
+	}
+}
 
 // Request is one message of the node protocol. GID is the
 // coordinator-assigned global transaction id; which other fields are
@@ -81,7 +110,15 @@ type Response struct {
 	Val     val.V
 	Entries []objstore.SetEntry // OpScan
 	Edges   []waitgraph.Edge    // OpEdges, in GID space
-	Err     error
+	// Span is the branch's finished span tree, carried back by the
+	// settling ops (OpCommit, OpAbort, OpDecide) when the node's engine
+	// collected one, so the coordinator can graft it into the global
+	// transaction's distributed span. Nil when the node's Obs is off.
+	// The tree is immutable once the branch finishes, so sharing the
+	// pointer across the in-process transport is safe; a wire transport
+	// would serialise it like any other result field.
+	Span *obs.Span
+	Err  error
 }
 
 // Transport delivers requests to nodes and returns their responses.

@@ -72,7 +72,19 @@ var sharedObs *obs.Obs
 // runs.
 func SetObs(o *obs.Obs) { sharedObs = o }
 
+// nodeObsFn, when set, supplies node i's engine Obs on multi-node
+// experiment points (semcc-bench's -serve -nodes mode: the merged
+// endpoint adds each node's part lazily).
+var nodeObsFn func(node int) *obs.Obs
+
+// SetNodeObs supplies per-node observability handles for subsequent
+// multi-node experiment runs.
+func SetNodeObs(fn func(node int) *obs.Obs) { nodeObsFn = fn }
+
 // runPoint executes one workload configuration and renders its row.
+// A point that pins its own Obs/NodeObs (the E10 overhead axis) keeps
+// them; otherwise the shared -serve handles, or a fresh enabled Obs so
+// the p50/p99 column is always populated.
 func runPoint(cfg workload.Config) (workload.Metrics, error) {
 	cfg.Validate = true
 	cfg.LockTable = lockTable
@@ -81,10 +93,15 @@ func runPoint(cfg workload.Config) (workload.Metrics, error) {
 	}
 	cfg.StoreShards = storeShards
 	cfg.PoolKind = poolKind
-	cfg.Obs = sharedObs
+	if cfg.Obs == nil {
+		cfg.Obs = sharedObs
+	}
 	if cfg.Obs == nil {
 		cfg.Obs = obs.New(obs.Config{})
 		cfg.Obs.SetEnabled(true)
+	}
+	if cfg.NodeObs == nil {
+		cfg.NodeObs = nodeObsFn
 	}
 	if cfg.Nodes == 0 {
 		cfg.Nodes = distNodes

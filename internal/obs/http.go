@@ -2,13 +2,14 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 )
 
-// Server is a live observability endpoint started by Obs.Serve.
+// Server is a live observability endpoint started by Serve.
 type Server struct {
 	lis net.Listener
 	srv *http.Server
@@ -30,22 +31,24 @@ func queryInt(r *http.Request, key string, def int) int {
 	return def
 }
 
-// Serve starts an HTTP endpoint exposing the Obs on addr (e.g.
-// ":8077" or "127.0.0.1:0"):
+// endpoint is the read surface an observability HTTP server needs —
+// both Obs (one engine) and Merged (a cluster of parts) implement it,
+// so a single mux builder serves either.
+type endpoint interface {
+	WriteProm(io.Writer) error
+	JSON(Params) ([]byte, error)
+	slowJSON() ([]byte, error)
+}
+
+// endpointMux builds the private mux serving e:
 //
 //	/metrics       Prometheus text format (version 0.0.4)
 //	/json          merged JSON snapshot (?topk=N&recent=N)
 //	/slow          slow-transaction log: retained slow span trees
 //	/debug/pprof/  the standard net/http/pprof handlers
 //
-// The handlers run on a private mux (nothing is added to
-// http.DefaultServeMux). The endpoint serves whatever is currently
-// collected; callers normally SetEnabled(true) first.
-func (o *Obs) Serve(addr string) (*Server, error) {
-	lis, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// Nothing is added to http.DefaultServeMux.
+func endpointMux(e endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -61,11 +64,11 @@ func (o *Obs) Serve(addr string) (*Server, error) {
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		o.WriteProm(w)
+		e.WriteProm(w)
 	})
 	mux.HandleFunc("/json", func(w http.ResponseWriter, r *http.Request) {
 		p := Params{TopK: queryInt(r, "topk", 10), Recent: queryInt(r, "recent", 20)}
-		buf, err := o.JSON(p)
+		buf, err := e.JSON(p)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -74,7 +77,7 @@ func (o *Obs) Serve(addr string) (*Server, error) {
 		w.Write(buf)
 	})
 	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
-		buf, err := o.Spans.SlowJSON()
+		buf, err := e.slowJSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -87,8 +90,32 @@ func (o *Obs) Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
-	srv := &http.Server{Handler: mux}
+func serveEndpoint(e endpoint, addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: endpointMux(e)}
 	go srv.Serve(lis)
 	return &Server{lis: lis, srv: srv}, nil
 }
+
+// Handler returns the observability mux for embedding into an existing
+// HTTP server (or an httptest.Server).
+func (o *Obs) Handler() http.Handler { return endpointMux(o) }
+
+// Serve starts an HTTP endpoint exposing the Obs on addr (e.g.
+// ":8077" or "127.0.0.1:0"). See endpointMux for the routes. The
+// endpoint serves whatever is currently collected; callers normally
+// SetEnabled(true) first.
+func (o *Obs) Serve(addr string) (*Server, error) { return serveEndpoint(o, addr) }
+
+// Handler returns the merged observability mux for embedding.
+func (m *Merged) Handler() http.Handler { return endpointMux(m) }
+
+// Serve starts an HTTP endpoint exposing the merged cluster view on
+// addr, with the same routes as Obs.Serve.
+func (m *Merged) Serve(addr string) (*Server, error) { return serveEndpoint(m, addr) }

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Merged is a read-only union of several Obs handles exposed as one
+// endpoint — the cluster view: the coordinator's own Obs plus one part
+// per node, each part stamped with identifying labels (node="i"). The
+// Prometheus exposition merges families by NAME across parts, so one
+// HELP/TYPE header covers every part's series of that family and the
+// part labels keep the series distinct; callers must therefore give
+// every part a label set that disambiguates it (at most one part may
+// be unlabelled). Parts are resolved through a getter at exposition
+// time, so a node whose engine — and therefore Obs — is replaced on
+// recovery stays live in the merged view.
+//
+// Merged holds no metrics of its own: scraping it reads the parts'
+// live atomics, and adding a part costs the writers nothing.
+type Merged struct {
+	mu    sync.Mutex
+	parts []mergedPart
+}
+
+type mergedPart struct {
+	labels []Label
+	get    func() *Obs
+}
+
+// NewMerged returns an empty merged endpoint.
+func NewMerged() *Merged { return &Merged{} }
+
+// Add registers a fixed Obs as one part, stamped with labels. A nil
+// Obs is allowed and contributes nothing.
+func (m *Merged) Add(o *Obs, labels ...Label) {
+	m.AddFunc(func() *Obs { return o }, labels...)
+}
+
+// AddFunc registers a part resolved at exposition time. The getter is
+// called on every scrape; returning nil skips the part for that
+// scrape.
+func (m *Merged) AddFunc(get func() *Obs, labels ...Label) {
+	if get == nil {
+		return
+	}
+	m.mu.Lock()
+	m.parts = append(m.parts, mergedPart{labels: sortLabels(append([]Label(nil), labels...)), get: get})
+	m.mu.Unlock()
+}
+
+func (m *Merged) snapshotParts() []mergedPart {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]mergedPart(nil), m.parts...)
+}
+
+// SetEnabled forwards the collection switch to every part.
+func (m *Merged) SetEnabled(on bool) {
+	for _, p := range m.snapshotParts() {
+		p.get().SetEnabled(on)
+	}
+}
+
+// WriteProm writes the merged Prometheus text exposition: families
+// grouped by name across parts (one HELP/TYPE line per name — the
+// first part registering a name fixes its type; a later part whose
+// family of the same name has a conflicting type is dropped), every
+// series carrying its part's labels, and one semcc_info series per
+// part that registered consts.
+func (m *Merged) WriteProm(w io.Writer) error {
+	merged := map[string]*family{}
+	var order []string
+	add := func(f *family, extra []Label) {
+		g := merged[f.name]
+		if g == nil {
+			g = &family{name: f.name, help: f.help, kind: f.kind}
+			merged[f.name] = g
+			order = append(order, f.name)
+		}
+		if g.kind != f.kind {
+			return
+		}
+		if g.help == "" {
+			g.help = f.help
+		}
+		for _, s := range f.series {
+			g.series = append(g.series, s.withLabels(extra))
+		}
+	}
+	for _, p := range m.snapshotParts() {
+		o := p.get()
+		if o == nil {
+			continue
+		}
+		for _, f := range o.Registry.snapshotFams() {
+			add(f, p.labels)
+		}
+		if cl := o.constLabels(); len(cl) > 0 {
+			one := func() int64 { return 1 }
+			add(&family{
+				name: "semcc_info", kind: kindGauge,
+				help:   "Constant build/config info; one series per part.",
+				series: []*series{{labels: cl, key: labelKey(cl), gfn: one}},
+			}, p.labels)
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		if err := writeFamily(w, merged[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSON renders one document holding each part's full snapshot under
+// "parts", the part labels attached as a "part" object.
+func (m *Merged) JSON(p Params) ([]byte, error) {
+	parts := []map[string]any{}
+	for _, pt := range m.snapshotParts() {
+		o := pt.get()
+		if o == nil {
+			continue
+		}
+		snap := o.snapshot(p)
+		if len(pt.labels) > 0 {
+			lm := make(map[string]string, len(pt.labels))
+			for _, l := range pt.labels {
+				lm[l.Name] = l.Value
+			}
+			snap["part"] = lm
+		}
+		parts = append(parts, snap)
+	}
+	return json.MarshalIndent(map[string]any{"merged": true, "parts": parts}, "", "  ")
+}
+
+// slowJSON concatenates every part's slow-span ring (the /slow body of
+// the merged endpoint).
+func (m *Merged) slowJSON() ([]byte, error) {
+	all := []*Span{}
+	for _, pt := range m.snapshotParts() {
+		if o := pt.get(); o != nil {
+			all = append(all, o.Spans.SlowSpans()...)
+		}
+	}
+	return json.MarshalIndent(all, "", "  ")
+}

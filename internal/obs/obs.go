@@ -158,10 +158,9 @@ func (o *Obs) JSON(p Params) ([]byte, error) {
 	return json.MarshalIndent(o.snapshot(p), "", "  ")
 }
 
-// WriteProm writes the Prometheus text exposition: the registry
-// families plus one semcc_info gauge carrying the registered consts as
-// labels.
-func (o *Obs) WriteProm(w io.Writer) error {
+// constLabels returns the registered consts as sorted labels (the
+// label set of the semcc_info series).
+func (o *Obs) constLabels() []Label {
 	if o == nil {
 		return nil
 	}
@@ -171,15 +170,33 @@ func (o *Obs) WriteProm(w io.Writer) error {
 		labels = append(labels, Label{Name: k, Value: v})
 	}
 	o.mu.Unlock()
+	return sortLabels(labels)
+}
+
+// WriteProm writes the Prometheus text exposition: the registry
+// families plus one semcc_info gauge carrying the registered consts as
+// labels.
+func (o *Obs) WriteProm(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
 	if err := o.Registry.WriteProm(w); err != nil {
 		return err
 	}
-	if len(labels) > 0 {
-		if _, err := io.WriteString(w, "# TYPE semcc_info gauge\nsemcc_info"+promLabels(sortLabels(labels), "", "")+" 1\n"); err != nil {
+	if labels := o.constLabels(); len(labels) > 0 {
+		if _, err := io.WriteString(w, "# TYPE semcc_info gauge\nsemcc_info"+promLabels(labels, "", "")+" 1\n"); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// slowJSON satisfies the shared HTTP endpoint interface (see http.go).
+func (o *Obs) slowJSON() ([]byte, error) {
+	if o == nil {
+		return []byte("[]"), nil
+	}
+	return o.Spans.SlowJSON()
 }
 
 func sortLabels(labels []Label) []Label {

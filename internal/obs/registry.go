@@ -252,11 +252,24 @@ func promLabels(labels []Label, extraName, extraVal string) string {
 	return b.String()
 }
 
-// WriteProm writes every family in the Prometheus text exposition
-// format (version 0.0.4), families and series in deterministic sorted
-// order. Histograms emit cumulative le= buckets at the log₂ bucket
-// upper bounds plus _sum and _count.
-func (r *Registry) WriteProm(w io.Writer) error {
+// withLabels returns a copy of s with extra labels appended — the
+// merged exposition stamps part identity (e.g. node="1") onto every
+// series this way. The value source (atomic or closure) is shared with
+// the original; only the label set is rewritten.
+func (s *series) withLabels(extra []Label) *series {
+	if len(extra) == 0 {
+		return s
+	}
+	cp := *s
+	cp.labels = append(append([]Label(nil), s.labels...), extra...)
+	cp.key = labelKey(cp.labels)
+	return &cp
+}
+
+// snapshotFams copies the family list (and each family's series slice)
+// under the registration lock, sorted by name, so exposition can run
+// lock-free against the live atomics.
+func (r *Registry) snapshotFams() []*family {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.fams))
 	for name := range r.fams {
@@ -266,59 +279,73 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		f := r.fams[name]
-		// Copy the series slice so exposition can run outside the
-		// registration lock (values are atomics; series are append-only
-		// per family snapshot).
 		cp := &family{name: f.name, help: f.help, kind: f.kind, series: append([]*series(nil), f.series...)}
 		fams = append(fams, cp)
 	}
 	r.mu.Unlock()
+	return fams
+}
 
-	for _, f := range fams {
-		sort.Slice(f.series, func(i, j int) bool { return f.series[i].key < f.series[j].key })
-		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType()); err != nil {
+// writeFamily renders one family (HELP/TYPE header plus every series)
+// in the Prometheus text format. The caller owns f's series slice;
+// series are sorted in place by label key.
+func writeFamily(w io.Writer, f *family) error {
+	sort.Slice(f.series, func(i, j int) bool { return f.series[i].key < f.series[j].key })
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
 			return err
 		}
-		for _, s := range f.series {
-			if f.kind == kindHist && s.h != nil {
-				snap := s.h.Snap()
-				var cum uint64
-				for i, c := range snap.B {
-					if c == 0 {
-						continue
-					}
-					cum += c
-					_, hi := bucketBounds(i)
-					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(s.labels, "le", fmt.Sprint(hi)), cum); err != nil {
-						return err
-					}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType()); err != nil {
+		return err
+	}
+	for _, s := range f.series {
+		if f.kind == kindHist && s.h != nil {
+			snap := s.h.Snap()
+			var cum uint64
+			for i, c := range snap.B {
+				if c == 0 {
+					continue
 				}
-				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(s.labels, "le", "+Inf"), cum); err != nil {
+				cum += c
+				_, hi := bucketBounds(i)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(s.labels, "le", fmt.Sprint(hi)), cum); err != nil {
 					return err
 				}
-				if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", f.name, promLabels(s.labels, "", ""), snap.Sum); err != nil {
-					return err
-				}
-				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(s.labels, "", ""), cum); err != nil {
-					return err
-				}
-				continue
 			}
-			u, g, signed := s.value()
-			var err error
-			if signed {
-				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels, "", ""), g)
-			} else {
-				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels, "", ""), u)
-			}
-			if err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, promLabels(s.labels, "le", "+Inf"), cum); err != nil {
 				return err
 			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", f.name, promLabels(s.labels, "", ""), snap.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(s.labels, "", ""), cum); err != nil {
+				return err
+			}
+			continue
+		}
+		u, g, signed := s.value()
+		var err error
+		if signed {
+			_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels, "", ""), g)
+		} else {
+			_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels, "", ""), u)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteProm writes every family in the Prometheus text exposition
+// format (version 0.0.4), families and series in deterministic sorted
+// order. Histograms emit cumulative le= buckets at the log₂ bucket
+// upper bounds plus _sum and _count.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, f := range r.snapshotFams() {
+		if err := writeFamily(w, f); err != nil {
+			return err
 		}
 	}
 	return nil

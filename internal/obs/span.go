@@ -348,15 +348,22 @@ func (r *SpanRecorder) Snapshot(recent int) SpansSnap {
 	return snap
 }
 
-// SlowJSON renders the slow-span ring as an indented JSON array of
-// span trees (the /slow endpoint body).
-func (r *SpanRecorder) SlowJSON() ([]byte, error) {
+// SlowSpans returns a copy of the slow-span ring (oldest first).
+// Nil-safe; the trees are immutable.
+func (r *SpanRecorder) SlowSpans() []*Span {
 	if r == nil {
-		return []byte("[]"), nil
+		return nil
 	}
 	r.mu.Lock()
 	slow := append([]*Span(nil), r.slowRing...)
 	r.mu.Unlock()
+	return slow
+}
+
+// SlowJSON renders the slow-span ring as an indented JSON array of
+// span trees (the /slow endpoint body).
+func (r *SpanRecorder) SlowJSON() ([]byte, error) {
+	slow := r.SlowSpans()
 	if slow == nil {
 		slow = []*Span{}
 	}

@@ -193,8 +193,15 @@ type Config struct {
 	// Obs, when set, attaches the cross-layer observability handle to
 	// the run's database (semcc-bench's -serve mode exposes it live).
 	// When it is enabled, span collection yields the run's latency
-	// percentiles (Metrics.P50Ns/P99Ns).
+	// percentiles (Metrics.P50Ns/P99Ns). On a multi-node run it becomes
+	// the COORDINATOR's Obs (cluster.AttachObs): hop/2PC metrics and the
+	// distributed span trees land here, and the latency percentiles are
+	// measured at the coordinator.
 	Obs *obs.Obs
+	// NodeObs, when set on a multi-node run, supplies node i's engine
+	// Obs (per-node lock/WAL/pool metrics, branch spans). Nil entries
+	// are fine; cluster.MergedObs unifies the parts.
+	NodeObs func(node int) *obs.Obs
 }
 
 // DefaultMaxRetries is the retry budget selected by MaxRetries == 0.
@@ -348,12 +355,15 @@ func Run(cfg Config) (Metrics, error) {
 			if cfg.NodeJournal != nil {
 				opts.Journal = cfg.NodeJournal(i)
 			}
+			if cfg.NodeObs != nil {
+				opts.Obs = cfg.NodeObs(i)
+			}
 			if i == 0 {
 				opts.Tracer = cfg.Tracer
-				opts.Obs = cfg.Obs
 			}
 			return opts
 		})
+		c.AttachObs(cfg.Obs)
 		defer c.Close()
 		app, err := ordercluster.Setup(c, popCfg)
 		if err != nil {
@@ -395,7 +405,13 @@ func RunOn(app *orderentry.App, cfg Config) (Metrics, error) {
 	}
 
 	var committed, aborted, exhausted, retries atomic.Uint64
-	o := app.DB.Obs()
+	// Latency source: the run's own Obs when set (on a cluster run that
+	// is the coordinator, whose spans cover the whole global
+	// transaction); otherwise whatever is attached to the app's DB.
+	o := cfg.Obs
+	if o == nil {
+		o = app.DB.Obs()
+	}
 	latBefore := o.Spans.LatencySnap()
 	start := time.Now()
 	var wg sync.WaitGroup

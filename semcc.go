@@ -231,6 +231,18 @@ type Span = obs.Span
 // its func-backed counters are live either way.
 func NewObs(cfg ObsConfig) *Obs { return obs.New(cfg) }
 
+// MergedObs is a read-only union of several Obs handles exposed as one
+// endpoint — the cluster view: parts are stamped with identifying
+// labels (node="i"), the Prometheus exposition merges families by name
+// across parts, and parts added via AddFunc are re-resolved on every
+// scrape so a node recovered with a fresh Obs stays live.
+// Cluster.MergedObs builds the standard coordinator-plus-nodes layout.
+type MergedObs = obs.Merged
+
+// NewMergedObs returns an empty merged observability endpoint; add
+// parts with Add/AddFunc.
+func NewMergedObs() *MergedObs { return obs.NewMerged() }
+
 // OID identifies a database object.
 type OID = oid.OID
 
@@ -342,6 +354,12 @@ type Transport = dist.Transport
 // ErrNodeDown is reported (via errors.Is) by cluster operations that
 // reached a killed node.
 var ErrNodeDown = dist.ErrNodeDown
+
+// ClusterStats is a point-in-time copy of the coordinator's own
+// observability counters (commit paths taken, aborts, node-down hops,
+// recoveries and in-doubt resolutions, deadlock sweep results); all
+// zero until Cluster.AttachObs enables collection.
+type ClusterStats = dist.DistStats
 
 // OpenCluster creates an n-node cluster; opts(i) configures node i's
 // engine (the cluster overrides each node's OID allocation stride and
